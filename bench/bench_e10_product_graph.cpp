@@ -1,0 +1,69 @@
+/// E10 — §5 counterexample: on the Cartesian product G(n,d) □ K5 — a graph
+/// with expansion and degree similar to a random regular graph — the
+/// multi-choice model "may not lead to any notable improvement". We compare
+/// the four-choice algorithm and push on the product vs a plain random
+/// regular graph of identical size and degree.
+
+#include "bench_util.hpp"
+
+using namespace rrb;
+using namespace rrb::bench;
+
+int main() {
+  banner("E10: Cartesian product with K5 — where multi-choice stops helping",
+         "claim (§5): on G(n,d) x K5 the four-choice model loses its "
+         "advantage despite random-regular-like expansion");
+
+  const NodeId base_n = 1 << 13;
+  const NodeId base_d = 6;
+  const NodeId prod_n = base_n * 5;
+  const NodeId prod_d = base_d + 4;
+
+  const GraphFactory product_factory = [base_n, base_d](Rng& rng) {
+    const Graph g = random_regular_simple(base_n, base_d, rng);
+    return cartesian_product(g, complete(5));
+  };
+  const GraphFactory plain_factory = regular_graph(prod_n, prod_d);
+
+  Table table({"graph", "protocol", "ok", "done@", "tx/node"});
+  table.set_title("n = 40960, degree 10 on both sides (5 trials)");
+
+  auto add_row = [&table](const std::string& graph_name,
+                          const std::string& proto_name,
+                          const GraphFactory& gf, const ProtocolFactory& pf,
+                          int choices, std::uint64_t seed) {
+    TrialConfig cfg;
+    cfg.trials = 5;
+    cfg.seed = seed;
+    cfg.channel.num_choices = choices;
+    const TrialOutcome out = run_trials(gf, pf, cfg);
+    table.begin_row();
+    table.add(graph_name);
+    table.add(proto_name);
+    table.add(out.completion_rate, 2);
+    table.add(out.completion_round.mean, 1);
+    table.add(out.tx_per_node.mean, 2);
+  };
+
+  add_row("G(n,10)", "4-choice Alg1", plain_factory,
+          four_choice_protocol(prod_n), 4, 0xea1);
+  add_row("G(n,6) x K5", "4-choice Alg1", product_factory,
+          four_choice_protocol(prod_n), 4, 0xea2);
+  add_row("G(n,10)", "push", plain_factory, push_protocol(), 1, 0xea3);
+  add_row("G(n,6) x K5", "push", product_factory, push_protocol(), 1, 0xea4);
+  add_row("G(n,10)", "push&pull", plain_factory, push_pull_protocol(), 1,
+          0xea5);
+  add_row("G(n,6) x K5", "push&pull", product_factory, push_pull_protocol(),
+          1, 0xea6);
+  std::cout << table << "\n";
+  std::cout << "expected shape: every protocol is slower/costlier on the "
+               "product — the K5\nfibres waste channel choices on clique "
+               "neighbours that get informed together\n(push&pull tx rises "
+               "~25-30%, push and the four-choice algorithm finish "
+               "later).\nThe four-choice rows show identical tx by "
+               "construction (fixed horizon), so the\ndegradation appears "
+               "in 'done@'; §5's point is that the *optimality* argument\n"
+               "needs graph randomness, not merely expansion — the product "
+               "only has the latter.\n";
+  return 0;
+}

@@ -1,0 +1,139 @@
+/// E11 — Robustness to communication failures (§1: "efficiently handles
+/// limited communication failures"): channels fail independently with
+/// probability f at establishment. The fixed-horizon algorithm tolerates
+/// moderate f; a larger alpha buys back reliability.
+
+#include "bench_util.hpp"
+
+#include "rrb/phonecall/failure_models.hpp"
+
+using namespace rrb;
+using namespace rrb::bench;
+
+int main() {
+  banner("E11: channel failures — robustness of the four-choice algorithm",
+         "claim: limited failures cost coverage only marginally; "
+         "alpha scales the safety margin");
+
+  const NodeId n = 1 << 14;
+  const NodeId d = 8;
+
+  Table table({"fail prob", "alpha", "ok", "coverage", "done@", "tx/node"});
+  table.set_title("Algorithm 1 under channel failures, n = 2^14, d = 8 "
+                  "(10 trials)");
+  for (const double alpha : {1.5, 2.0}) {
+    for (const double f : {0.0, 0.05, 0.1, 0.2, 0.3}) {
+      TrialConfig cfg;
+      cfg.trials = 10;
+      cfg.seed = 0xeb + static_cast<std::uint64_t>(f * 100) +
+                 static_cast<std::uint64_t>(alpha * 10) * 1000;
+      cfg.channel.num_choices = 4;
+      cfg.channel.failure_prob = f;
+      const TrialOutcome out = run_trials(
+          regular_graph(n, d), four_choice_protocol(n, alpha), cfg);
+      double coverage = 0.0;
+      for (const RunResult& r : out.runs)
+        coverage += static_cast<double>(r.final_informed) /
+                    static_cast<double>(r.n);
+      coverage /= static_cast<double>(out.runs.size());
+      table.begin_row();
+      table.add(f, 2);
+      table.add(alpha, 1);
+      table.add(out.completion_rate, 2);
+      table.add(coverage, 6);
+      table.add(out.completion_round.mean, 1);
+      table.add(out.tx_per_node.mean, 2);
+    }
+  }
+  std::cout << table << "\n";
+
+  // Structured failures: fail-stop nodes and periodic outages (see
+  // failure_models.hpp). Coverage is reported over *healthy* nodes for the
+  // faulty-node rows (fail-stop peers can never receive anything).
+  Table structured({"model", "alpha", "healthy coverage", "done@"});
+  structured.set_title("structured failure models, n = 2^14, d = 8 "
+                       "(5 trials, alpha = 2)");
+  struct ModelRow {
+    std::string name;
+    double faulty_fraction;  // > 0 -> faulty-node model
+    Round period, burst;     // period > 0 -> bursty model
+  };
+  const ModelRow model_rows[] = {
+      {"5% fail-stop nodes", 0.05, 0, 0},
+      {"15% fail-stop nodes", 0.15, 0, 0},
+      {"outage 1 of every 4 rounds", 0.0, 4, 1},
+      {"outage 2 of every 5 rounds", 0.0, 5, 2},
+      {"outage 1/4 + sequentialised", 0.0, -4, 1},  // negative = seq variant
+  };
+  for (const ModelRow& row : model_rows) {
+    double coverage = 0.0;
+    double done = 0.0;
+    constexpr int kTrials = 5;
+    const bool sequentialised = row.period < 0;
+    const Round period = sequentialised ? -row.period : row.period;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Rng rng(derive_seed(0xeb5, static_cast<std::uint64_t>(trial) * 131 +
+                                     static_cast<std::uint64_t>(
+                                         row.faulty_fraction * 100) +
+                                     static_cast<std::uint64_t>(row.period)));
+      const Graph g = random_regular_simple(n, d, rng);
+      std::vector<NodeId> faulty;
+      if (row.faulty_fraction > 0.0) {
+        const auto stride =
+            static_cast<NodeId>(1.0 / row.faulty_fraction);
+        for (NodeId v = 1; v < n; v += stride) faulty.push_back(v);
+      }
+      GraphTopology topo(g);
+      ChannelConfig chan;
+      if (sequentialised) {
+        chan.num_choices = 1;
+        chan.memory = 3;
+      } else {
+        chan.num_choices = 4;
+      }
+      PhoneCallEngine<GraphTopology> engine(topo, chan, rng);
+      if (!faulty.empty())
+        engine.set_failure_model(faulty_nodes(faulty));
+      else
+        engine.set_failure_model(bursty_outage(period, row.burst));
+      FourChoiceConfig fc;
+      fc.n_estimate = n;
+      fc.alpha = 2.0;
+      FourChoiceBroadcast four_alg(fc);
+      SequentialisedFourChoice seq_alg(fc);
+      BroadcastProtocol& alg =
+          sequentialised ? static_cast<BroadcastProtocol&>(seq_alg)
+                         : static_cast<BroadcastProtocol&>(four_alg);
+      const RunResult r = engine.run(alg, NodeId{0}, RunLimits{});
+      const Count healthy = n - faulty.size();
+      Count healthy_informed = 0;
+      std::unordered_set<NodeId> faulty_set(faulty.begin(), faulty.end());
+      const auto informed = engine.informed_at();
+      for (NodeId v = 0; v < n; ++v)
+        if (faulty_set.count(v) == 0 && informed[v] != kNever)
+          ++healthy_informed;
+      coverage += static_cast<double>(healthy_informed) /
+                  static_cast<double>(healthy);
+      done += static_cast<double>(
+          r.completion_round == kNever ? r.rounds : r.completion_round);
+    }
+    structured.begin_row();
+    structured.add(row.name);
+    structured.add(2.0, 1);
+    structured.add(coverage / kTrials, 6);
+    structured.add(done / kTrials, 1);
+  }
+  std::cout << structured << "\n";
+  std::cout
+      << "expected shape: i.i.d. channel failures (top table) cost nothing "
+         "but delay —\nthe paper's 'limited communication failures' regime. "
+         "Structured faults expose\nthe model's boundaries honestly: "
+         "healthy nodes route around fail-stop\nminorities perfectly, but "
+         "*synchronised* periodic outages break Algorithm 1's\npush-once "
+         "phase and its single pull round (coverage collapses) — these are\n"
+         "correlated failures outside the theorem's independence "
+         "assumptions. The\nsequentialised variant smears each logical "
+         "round over four steps, so the\nsame 1-in-4 outage pattern only "
+         "costs it one sub-step per round and coverage\nrecovers.\n";
+  return 0;
+}

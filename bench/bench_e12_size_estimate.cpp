@@ -1,0 +1,55 @@
+/// E12 — Robustness to the size estimate (§1: the algorithm "only requires
+/// rough estimates of the number of nodes"): run Algorithm 1 with n̂
+/// off by factors 1/4 .. 4 and measure completion and cost.
+
+#include "bench_util.hpp"
+
+using namespace rrb;
+using namespace rrb::bench;
+
+int main() {
+  banner("E12: accuracy of the size estimate n̂",
+         "claim: any n̂ within a constant factor of n preserves "
+         "correctness; cost scales with log n̂");
+
+  const NodeId n = 1 << 14;
+  const NodeId d = 8;
+
+  Table table({"n̂/n", "n̂", "ok", "coverage", "done@", "horizon",
+               "tx/node"});
+  table.set_title("Algorithm 1 with misestimated n̂, true n = 2^14, d = 8 "
+                  "(10 trials)");
+  for (const double factor : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const auto n_est = static_cast<std::uint64_t>(
+        std::max(2.0, static_cast<double>(n) * factor));
+    TrialConfig cfg;
+    cfg.trials = 10;
+    cfg.seed = 0xec + static_cast<std::uint64_t>(factor * 100);
+    cfg.channel.num_choices = 4;
+    const TrialOutcome out =
+        run_trials(regular_graph(n, d), four_choice_protocol(n_est), cfg);
+    double coverage = 0.0;
+    for (const RunResult& r : out.runs)
+      coverage += static_cast<double>(r.final_informed) /
+                  static_cast<double>(r.n);
+    coverage /= static_cast<double>(out.runs.size());
+
+    FourChoiceConfig fc;
+    fc.n_estimate = n_est;
+    table.begin_row();
+    table.add(factor, 2);
+    table.add(n_est);
+    table.add(out.completion_rate, 2);
+    table.add(coverage, 6);
+    table.add(out.completion_round.mean, 1);
+    table.add(static_cast<std::int64_t>(
+        make_schedule_small_d(fc).total_rounds()));
+    table.add(out.tx_per_node.mean, 2);
+  }
+  std::cout << table << "\n";
+  std::cout << "expected shape: all rows complete (constant-factor slack in "
+               "n̂ only shifts\nphase boundaries by O(alpha) rounds); "
+               "underestimates shave transmissions,\noverestimates pad "
+               "them — both stay on the O(n log log n) scale.\n";
+  return 0;
+}

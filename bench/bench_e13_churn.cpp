@@ -1,0 +1,74 @@
+/// E13 — Robustness to membership churn (§1: "robust against limited
+/// changes in the size of the network"): nodes join and leave the overlay
+/// between broadcast rounds while Algorithm 1 runs.
+
+#include "bench_util.hpp"
+
+#include "rrb/p2p/churn.hpp"
+
+using namespace rrb;
+using namespace rrb::bench;
+
+int main() {
+  banner("E13: membership churn during the broadcast",
+         "claim: the broadcast reaches (almost) all alive nodes despite "
+         "joins/leaves between rounds");
+
+  const NodeId n0 = 1 << 13;
+  const NodeId d = 8;
+  constexpr int kTrials = 5;
+
+  Table table({"events/round", "coverage", "joins", "leaves", "alive@end",
+               "tx/node"});
+  table.set_title("Algorithm 1 (alpha = 2) under churn, n0 = 2^13, d = 8 "
+                  "(5 trials)");
+  for (const double rate : {0.0, 1.0, 4.0, 16.0, 64.0, 128.0}) {
+    double coverage = 0.0;
+    double joins = 0.0;
+    double leaves = 0.0;
+    double alive = 0.0;
+    double tx = 0.0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Rng rng(derive_seed(0xed, static_cast<std::uint64_t>(
+                                    trial * 100 + rate * 10)));
+      DynamicOverlay overlay(n0 + n0 / 2, n0, d, rng);
+      ChurnConfig ccfg;
+      ccfg.joins_per_round = rate;
+      ccfg.leaves_per_round = rate;
+      ccfg.switches_per_round = 2;
+      ChurnDriver driver(overlay, ccfg, rng);
+
+      FourChoiceConfig fc;
+      fc.n_estimate = n0;
+      fc.alpha = 2.0;
+      FourChoiceBroadcast alg(fc);
+      ChannelConfig chan;
+      chan.num_choices = 4;
+      PhoneCallEngine<DynamicOverlay> engine(overlay, chan, rng);
+      driver.set_join_callback([&](NodeId v) { engine.reset_node(v); });
+      engine.set_round_hook([&](Round t) { driver.apply(t); });
+      const RunResult r = engine.run(alg, overlay.random_alive(rng),
+                                     RunLimits{});
+      coverage += static_cast<double>(r.final_informed) /
+                  static_cast<double>(r.alive_at_end);
+      joins += static_cast<double>(driver.total_joins());
+      leaves += static_cast<double>(driver.total_leaves());
+      alive += static_cast<double>(r.alive_at_end);
+      tx += static_cast<double>(r.total_tx()) /
+            static_cast<double>(r.alive_at_end);
+    }
+    table.begin_row();
+    table.add(rate, 1);
+    table.add(coverage / kTrials, 6);
+    table.add(joins / kTrials, 0);
+    table.add(leaves / kTrials, 0);
+    table.add(alive / kTrials, 0);
+    table.add(tx / kTrials, 2);
+  }
+  std::cout << table << "\n";
+  std::cout << "expected shape: coverage ~1.0 at low churn and degrades "
+               "gracefully; the\nshortfall is dominated by nodes that "
+               "joined in the final rounds (no time\nleft to hear the "
+               "message) — exactly the paper's 'limited changes' caveat.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+/// E14 — The Fountoulakis–Panagiotou constant (§1.1): the push protocol on
+/// a random d-regular graph completes in (1+o(1))·C_d·ln n rounds with
+/// C_d = 1/ln(2(1-1/d)) - 1/(d·ln(1-1/d)). We measure rounds/ln n across d
+/// and compare with C_d.
+
+#include "bench_util.hpp"
+
+using namespace rrb;
+using namespace rrb::bench;
+
+int main() {
+  banner("E14: push run-time constant C_d (Fountoulakis–Panagiotou)",
+         "claim: push rounds / ln n -> C_d as n grows");
+
+  const NodeId n = 1 << 15;
+  const double ln_n = std::log(static_cast<double>(n));
+
+  Table table({"d", "C_d", "measured rounds", "rounds/ln n", "ratio to C_d"});
+  table.set_title("push on G(n,d), n = 2^15 (5 trials)");
+  for (const NodeId d : {3U, 4U, 5U, 6U, 8U, 12U, 16U, 32U}) {
+    TrialConfig cfg;
+    cfg.trials = 5;
+    cfg.seed = 0xee + d;
+    const TrialOutcome out =
+        run_trials(regular_graph(n, d), push_protocol(), cfg);
+    const double cd = push_constant_cd(static_cast<int>(d));
+    const double per_ln = out.completion_round.mean / ln_n;
+    table.begin_row();
+    table.add(static_cast<std::uint64_t>(d));
+    table.add(cd, 3);
+    table.add(out.completion_round.mean, 1);
+    table.add(per_ln, 3);
+    table.add(per_ln / cd, 3);
+  }
+  std::cout << table << "\n";
+  std::cout << "expected shape: ratio-to-C_d close to 1 and drifting "
+               "upward only at tiny d\n(finite-size o(1) terms); C_d "
+               "decreases towards 1/ln2 + 1 ≈ 2.44 as d grows.\n";
+  return 0;
+}

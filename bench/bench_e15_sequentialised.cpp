@@ -1,0 +1,71 @@
+/// E15 — The sequentialised model (§1.2, footnote 2): one choice per step
+/// avoiding the partners of the last 3 steps, with the phase schedule
+/// stretched 4x, is equivalent to the four-choice model (four sequential
+/// steps = one parallel step). We also run memoryless 1-choice on the same
+/// stretched schedule to show that the memory is what does the work.
+
+#include "bench_util.hpp"
+
+using namespace rrb;
+using namespace rrb::bench;
+
+int main() {
+  banner("E15: sequentialised memory-3 variant vs four parallel choices",
+         "claim: 1 choice/step + memory 3 + 4x schedule ≈ 4 distinct "
+         "choices/step");
+
+  const NodeId n = 1 << 14;
+  const NodeId d = 8;
+
+  struct Variant {
+    const char* name;
+    ChannelConfig channel;
+    ProtocolFactory factory;
+  };
+  ChannelConfig four;
+  four.num_choices = 4;
+  ChannelConfig seq;
+  seq.num_choices = 1;
+  seq.memory = 3;
+  ChannelConfig plain;
+  plain.num_choices = 1;
+
+  const Variant variants[] = {
+      {"4 choices/round (Algorithm 1)", four, four_choice_protocol(n)},
+      {"1 choice/step + memory 3 (footnote 2)", seq,
+       sequentialised_protocol(n)},
+      {"1 choice/step, no memory (ablation)", plain,
+       sequentialised_protocol(n)},
+  };
+
+  Table table({"variant", "ok", "coverage", "rounds", "done@", "tx/node"});
+  table.set_title("Algorithm 1 variants, n = 2^14, d = 8 (10 trials)");
+  for (const Variant& v : variants) {
+    TrialConfig cfg;
+    cfg.trials = 10;
+    cfg.seed = 0xef;
+    cfg.channel = v.channel;
+    const TrialOutcome out = run_trials(regular_graph(n, d), v.factory, cfg);
+    double coverage = 0.0;
+    for (const RunResult& r : out.runs)
+      coverage += static_cast<double>(r.final_informed) /
+                  static_cast<double>(r.n);
+    coverage /= static_cast<double>(out.runs.size());
+    table.begin_row();
+    table.add(std::string(v.name));
+    table.add(out.completion_rate, 2);
+    table.add(coverage, 6);
+    table.add(out.rounds.mean, 1);
+    table.add(out.completion_round.mean, 1);
+    table.add(out.tx_per_node.mean, 2);
+  }
+  std::cout << table << "\n";
+  std::cout << "expected shape: rows 1 and 2 match in coverage and tx/node "
+               "— four sequential\nsteps with memory 3 emulate one parallel "
+               "four-choice round exactly (footnote 2),\nat 4x the engine "
+               "steps. Row 3 drops the memory: its four consecutive calls\n"
+               "can repeat partners, so phase-1 pushes and the pull window "
+               "lose distinctness\nand coverage/cost drift from the "
+               "four-choice profile.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+/// E17 — Replicated-database application (§1): many updates gossip
+/// concurrently, each on Algorithm 1's schedule, with per-channel combining
+/// ("the node combines to a single message all messages which should be
+/// transmitted via push"). We sweep the batch size and report per-update
+/// cost and the combining gain.
+
+#include "bench_util.hpp"
+
+#include "rrb/p2p/replicated_db.hpp"
+
+using namespace rrb;
+using namespace rrb::bench;
+
+int main() {
+  banner("E17: replicated database maintenance over the overlay",
+         "claim: per-update cost stays O(n log log n); combining packs "
+         "many updates into each channel message");
+
+  const NodeId n = 2048;
+  const NodeId d = 8;
+
+  Table table({"updates", "converged", "rounds", "entry-tx/upd/node",
+               "channel msgs", "entries/msg"});
+  table.set_title("Algorithm-1 gossip per update, n = 2048, d = 8");
+  for (const int batch : {1, 4, 16, 64}) {
+    Rng grng(derive_seed(0xf17, static_cast<std::uint64_t>(batch)));
+    const Graph g = random_regular_simple(n, d, grng);
+    ReplicatedDbConfig cfg;
+    cfg.seed = derive_seed(0xf18, static_cast<std::uint64_t>(batch));
+    ReplicatedDb db(g, cfg);
+    for (int i = 0; i < batch; ++i)
+      db.put(static_cast<NodeId>((i * 37) % n), "key" + std::to_string(i),
+             "value" + std::to_string(i));
+    const bool ok = db.run_to_convergence(600);
+    table.begin_row();
+    table.add(batch);
+    table.add(std::string(ok ? "yes" : "NO"));
+    table.add(static_cast<std::int64_t>(db.round()));
+    table.add(static_cast<double>(db.entry_transmissions()) / batch /
+                  static_cast<double>(n),
+              2);
+    table.add(db.channel_messages());
+    table.add(static_cast<double>(db.entry_transmissions()) /
+                  static_cast<double>(db.channel_messages()),
+              2);
+  }
+  std::cout << table << "\n";
+  std::cout << "expected shape: entry-tx per update per node constant in "
+               "the batch size\n(~O(log log n) scale), while entries/msg "
+               "grows with the batch — combining\namortises channel cost "
+               "across concurrent updates, the paper's replicated-DB\n"
+               "motivation.\n";
+  return 0;
+}

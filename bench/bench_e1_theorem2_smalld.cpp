@@ -1,0 +1,79 @@
+/// E1 — Theorem 2 (small degrees): Algorithm 1 broadcasts on G(n,d),
+/// d = 8, within O(log n) rounds using O(n log log n) transmissions.
+/// Sweep n; compare per-node transmissions against the push baseline,
+/// whose cost is Θ(log n) per node.
+
+#include "bench_util.hpp"
+
+using namespace rrb;
+using namespace rrb::bench;
+
+int main() {
+  banner("E1: Theorem 2 — four-choice broadcast, small degree (d = 8)",
+         "claim: rounds = O(log n); transmissions/node = O(log log n), "
+         "vs push's Theta(log n)");
+
+  Table table({"n", "log2(n)", "lglg(n)", "4c rounds", "4c done@", "4c ok",
+               "4c tx/node", "push tx/node", "push/4c"});
+  table.set_title("Algorithm 1 vs push baseline (5 trials each)");
+
+  std::vector<double> lgs, lglgs, rounds, fc_tx, push_tx;
+  for (const NodeId n : {1U << 10, 1U << 11, 1U << 12, 1U << 13, 1U << 14,
+                         1U << 15, 1U << 16, 1U << 17}) {
+    const double lg = std::log2(static_cast<double>(n));
+    const double lglg = std::log2(lg);
+
+    TrialConfig fc_cfg;
+    fc_cfg.trials = 5;
+    fc_cfg.seed = 0xe1 + n;
+    fc_cfg.channel.num_choices = 4;
+    const TrialOutcome fc = run_trials(regular_graph(n, 8),
+                                       four_choice_protocol(n), fc_cfg);
+
+    TrialConfig push_cfg;
+    push_cfg.trials = 5;
+    push_cfg.seed = 0x91e1 + n;
+    const TrialOutcome push =
+        run_trials(regular_graph(n, 8), push_protocol(), push_cfg);
+
+    table.begin_row();
+    table.add(static_cast<std::uint64_t>(n));
+    table.add(lg, 1);
+    table.add(lglg, 2);
+    table.add(fc.rounds.mean, 1);
+    table.add(fc.completion_round.mean, 1);
+    table.add(fc.completion_rate, 2);
+    table.add(fc.tx_per_node.mean, 2);
+    table.add(push.tx_per_node.mean, 2);
+    table.add(push.tx_per_node.mean / fc.tx_per_node.mean, 2);
+
+    lgs.push_back(lg);
+    lglgs.push_back(lglg);
+    rounds.push_back(fc.completion_round.mean);
+    fc_tx.push_back(fc.tx_per_node.mean);
+    push_tx.push_back(push.tx_per_node.mean);
+  }
+  std::cout << table << "\n";
+
+  print_fit("4-choice completion rounds vs log2 n", lgs, rounds);
+  const AffineFit fc_fit = fit_affine(lgs, fc_tx);
+  const AffineFit push_fit = fit_affine(lgs, push_tx);
+  std::cout << "4-choice tx/node vs log2 n: slope " << fc_fit.slope
+            << "/log-unit (flat; the log log n term)\n"
+            << "push     tx/node vs log2 n: slope " << push_fit.slope
+            << "/log-unit (the Theta(log n) cost)\n";
+  if (push_fit.slope > fc_fit.slope) {
+    const double cross =
+        (fc_fit.intercept - push_fit.intercept) /
+        (push_fit.slope - fc_fit.slope);
+    std::cout << "extrapolated crossover (4-choice cheaper in absolute "
+                 "terms): n ~ 2^" << cross << "\n";
+  }
+  std::cout << "\nexpected shape: 4-choice tx/node is essentially flat in n "
+               "(its growth is the\nlog log n term), while push tx/node "
+               "climbs with log n — the separation the\npaper proves. At "
+               "laptop n the four-choice constant (4 channels x alpha "
+               "rounds)\nstill dominates; the slopes, not the absolute "
+               "values, are the reproduced claim.\n";
+  return 0;
+}

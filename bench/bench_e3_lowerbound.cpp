@@ -1,0 +1,119 @@
+/// E3 — Theorem 1 (lower bound shape): any strictly-oblivious one-choice
+/// algorithm finishing in O(log n) rounds needs Ω(n log n / log d)
+/// transmissions. We measure the classical push&pull (the best
+/// single-choice contender) run to completion: its total transmissions
+/// should scale like n log n / log d — i.e. the normalised constant
+/// tx · log d / (n log n) stays roughly flat across d — and stay far above
+/// the four-choice algorithm's O(n log log n).
+
+#include "bench_util.hpp"
+
+using namespace rrb;
+using namespace rrb::bench;
+
+int main() {
+  banner("E3: Theorem 1 — one-choice transmission lower bound shape",
+         "claim: single-choice push&pull needs ~ n·log n / log d "
+         "transmissions; normalised constant flat in d");
+
+  const NodeId n = 1 << 14;
+  const double lg_n = std::log2(static_cast<double>(n));
+
+  Table table({"d", "rounds", "tx/node", "bound logn/logd", "tx/bound",
+               "ok"});
+  table.set_title("push&pull, 1 choice, run to completion (n = 2^14, "
+                  "5 trials)");
+
+  for (const NodeId d : {4U, 8U, 16U, 32U, 64U, 128U}) {
+    TrialConfig cfg;
+    cfg.trials = 5;
+    cfg.seed = 0xe3 + d;
+    const TrialOutcome out =
+        run_trials(regular_graph(n, d), push_pull_protocol(), cfg);
+    const double bound = lg_n / std::log2(static_cast<double>(d));
+    table.begin_row();
+    table.add(static_cast<std::uint64_t>(d));
+    table.add(out.rounds.mean, 1);
+    table.add(out.tx_per_node.mean, 2);
+    table.add(bound, 2);
+    table.add(out.tx_per_node.mean / bound, 2);
+    table.add(out.completion_rate, 2);
+  }
+  std::cout << table << "\n";
+
+  // The self-terminating (oracle-free) Monte Carlo push pays its full
+  // horizon: the Θ(n log n) row the lower bound says you cannot beat by a
+  // large margin in the one-choice model at O(log n) time.
+  Table mc({"d", "horizon", "tx/node", "ok"});
+  mc.set_title("fixed-horizon push (2·C_d·ln n rounds, self-terminating)");
+  for (const NodeId d : {4U, 16U, 64U}) {
+    TrialConfig cfg;
+    cfg.trials = 5;
+    cfg.seed = 0x9e3 + d;
+    const Round horizon = make_push_horizon(n, static_cast<int>(d));
+    const TrialOutcome out = run_trials(
+        regular_graph(n, d),
+        [horizon](const Graph&) {
+          return std::make_unique<FixedHorizonPush>(horizon);
+        },
+        cfg);
+    mc.begin_row();
+    mc.add(static_cast<std::uint64_t>(d));
+    mc.add(static_cast<std::int64_t>(horizon));
+    mc.add(out.tx_per_node.mean, 2);
+    mc.add(out.completion_rate, 2);
+  }
+  std::cout << mc << "\n";
+
+  // Upper-bound contender: age-throttled push&pull (Elsässer-style, the
+  // paper's reference [11]) actually *achieves* the n log n / log d shape.
+  Table upper({"d", "tau", "rounds", "tx/node", "tx/bound", "ok"});
+  upper.set_title("throttled push&pull (transmit only while age <= tau)");
+  for (const NodeId d : {4U, 8U, 16U, 32U, 64U, 128U}) {
+    TrialConfig cfg;
+    cfg.trials = 5;
+    cfg.seed = 0x7e3 + d;
+    const TrialOutcome out = run_trials(
+        regular_graph(n, d),
+        [n, d](const Graph&) {
+          ThrottledConfig tc;
+          tc.n_estimate = n;
+          tc.degree = d;
+          return std::make_unique<ThrottledPushPull>(tc);
+        },
+        cfg);
+    ThrottledConfig tc;
+    tc.n_estimate = n;
+    tc.degree = d;
+    const ThrottledPushPull probe(tc);
+    const double bound = lg_n / std::log2(static_cast<double>(d));
+    upper.begin_row();
+    upper.add(static_cast<std::uint64_t>(d));
+    upper.add(static_cast<std::int64_t>(probe.tau()));
+    upper.add(out.rounds.mean, 1);
+    upper.add(out.tx_per_node.mean, 2);
+    upper.add(out.tx_per_node.mean / bound, 2);
+    upper.add(out.completion_rate, 2);
+  }
+  std::cout << upper << "\n";
+
+  // Contrast: the modified model (4 distinct choices) at d = 8.
+  TrialConfig fc_cfg;
+  fc_cfg.trials = 5;
+  fc_cfg.seed = 0x4e3;
+  fc_cfg.channel.num_choices = 4;
+  const TrialOutcome fc =
+      run_trials(regular_graph(n, 8), four_choice_protocol(n), fc_cfg);
+  std::cout << "four-choice (Algorithm 1, d = 8): tx/node = "
+            << fc.tx_per_node.mean << ", completion rate = "
+            << fc.completion_rate << "\n";
+  std::cout << "\nexpected shape: every single-choice row pays at least the "
+               "Theorem 1 bound\n(tx/bound >= 1 throughout), and the "
+               "measured cost falls with d roughly as the\nbound predicts "
+               "until the completion-tail floor (~log3 n rounds of active\n"
+               "senders) takes over at large d. The four-choice row escapes "
+               "the n-dependent\nbound entirely: its cost is flat in n (see "
+               "E1), which no single-choice\nstrictly-oblivious algorithm "
+               "can achieve.\n";
+  return 0;
+}

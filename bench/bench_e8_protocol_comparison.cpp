@@ -1,0 +1,93 @@
+/// E8 — Protocol comparison table: all the broadcast schemes discussed in
+/// §1 side by side on the same random regular graph: classical push, pull,
+/// push&pull, Karp et al.'s median-counter termination, the quasirandom
+/// list model, the sequentialised memory variant, and the paper's
+/// four-choice Algorithm 1.
+
+#include "bench_util.hpp"
+
+using namespace rrb;
+using namespace rrb::bench;
+
+namespace {
+
+struct Row {
+  const char* name;
+  ChannelConfig channel;
+  ProtocolFactory factory;
+};
+
+}  // namespace
+
+int main() {
+  banner("E8: protocol comparison on G(n, d), n = 2^15, d = 10",
+         "rows the paper's introduction ranks: push Θ(n log n) tx; "
+         "push&pull/median-counter better; four-choice O(n log log n)");
+
+  const NodeId n = 1 << 15;
+  const NodeId d = 10;
+
+  ChannelConfig one;
+  ChannelConfig four;
+  four.num_choices = 4;
+  ChannelConfig seq;
+  seq.num_choices = 1;
+  seq.memory = 3;
+  ChannelConfig quasi;
+  quasi.num_choices = 1;
+  quasi.quasirandom = true;
+
+  std::vector<Row> rows;
+  rows.push_back({"push (1 choice)", one, push_protocol()});
+  rows.push_back({"push, fixed horizon", one, [n](const Graph& g) {
+                    const auto d = static_cast<int>(*g.regular_degree());
+                    return std::make_unique<FixedHorizonPush>(
+                        make_push_horizon(n, d));
+                  }});
+  rows.push_back({"throttled push&pull [11]", one, [n, d](const Graph&) {
+                    ThrottledConfig tc;
+                    tc.n_estimate = n;
+                    tc.degree = d;
+                    return std::make_unique<ThrottledPushPull>(tc);
+                  }});
+  rows.push_back({"pull (1 choice)", one, pull_protocol()});
+  rows.push_back({"push&pull (1 choice)", one, push_pull_protocol()});
+  rows.push_back({"median-counter (Karp)", one, median_counter_protocol(n)});
+  rows.push_back({"quasirandom push", quasi, push_protocol()});
+  rows.push_back({"4-choice Alg 1", four, four_choice_protocol(n)});
+  rows.push_back({"seq. memory-3 (footnote 2)", seq,
+                  sequentialised_protocol(n)});
+
+  Table table({"protocol", "rounds", "done@", "ok", "tx/node", "push tx",
+               "pull tx"});
+  table.set_title("5 trials each; oracle termination for the baselines, "
+                  "self-termination otherwise");
+  for (const Row& row : rows) {
+    TrialConfig cfg;
+    cfg.trials = 5;
+    cfg.seed = 0xe8;
+    cfg.channel = row.channel;
+    const TrialOutcome out =
+        run_trials(regular_graph(n, d), row.factory, cfg);
+    table.begin_row();
+    table.add(std::string(row.name));
+    table.add(out.rounds.mean, 1);
+    table.add(out.completion_round.mean, 1);
+    table.add(out.completion_rate, 2);
+    table.add(out.tx_per_node.mean, 2);
+    table.add(out.push_tx.mean, 0);
+    table.add(out.pull_tx.mean, 0);
+  }
+  std::cout << table << "\n";
+  std::cout
+      << "how to read this: 'done@' is when everyone is informed; 'rounds' "
+         "is when the\nprotocol itself stops (baselines use oracle stop, so "
+         "the two coincide). The\nbaselines' tx/node grows with log n "
+         "(compare E1's sweep); the four-choice\nrows pay a constant that "
+         "scales only with log log n. The median-counter's\nlong tail is "
+         "its Monte-Carlo deadline, not message cost. The sequentialised\n"
+         "variant trades 4x the rounds for one channel per round, landing "
+         "near the\nfour-choice transmission scale, as §1.2 footnote 2 "
+         "predicts.\n";
+  return 0;
+}

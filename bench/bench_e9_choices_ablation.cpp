@@ -1,0 +1,52 @@
+/// E9 — Number-of-choices ablation (§5): the paper proves the result for
+/// four distinct choices, conjectures three suffice, and leaves two open.
+/// We run the same phase schedule with k = 1..6 channel choices and report
+/// completion rate, coverage and transmissions.
+
+#include "bench_util.hpp"
+
+using namespace rrb;
+using namespace rrb::bench;
+
+int main() {
+  banner("E9: choices ablation — is 4 necessary? (§5 open questions)",
+         "claim: k = 4 completes with O(n log log n) tx; paper conjectures "
+         "k = 3 suffices; k <= 2 open");
+
+  const NodeId n = 1 << 14;
+  const NodeId d = 8;
+
+  Table table({"choices k", "ok", "coverage", "done@", "tx/node",
+               "uninformed left"});
+  table.set_title("Algorithm 1 schedule with k channel choices, n = 2^14, "
+                  "d = 8 (10 trials)");
+  for (const int k : {1, 2, 3, 4, 5, 6}) {
+    TrialConfig cfg;
+    cfg.trials = 10;
+    cfg.seed = 0xe9 + static_cast<std::uint64_t>(k);
+    cfg.channel.num_choices = k;
+    const TrialOutcome out =
+        run_trials(regular_graph(n, d), four_choice_protocol(n), cfg);
+    double coverage = 0.0;
+    double left = 0.0;
+    for (const RunResult& r : out.runs) {
+      coverage += static_cast<double>(r.final_informed) /
+                  static_cast<double>(r.n);
+      left += static_cast<double>(r.n - r.final_informed);
+    }
+    coverage /= static_cast<double>(out.runs.size());
+    left /= static_cast<double>(out.runs.size());
+    table.begin_row();
+    table.add(k);
+    table.add(out.completion_rate, 2);
+    table.add(coverage, 6);
+    table.add(out.completion_round.mean, 1);
+    table.add(out.tx_per_node.mean, 2);
+    table.add(left, 1);
+  }
+  std::cout << table << "\n";
+  std::cout << "expected shape: k >= 3 completes reliably (supporting the "
+               "paper's conjecture);\nk = 4 is the proven regime; tx/node "
+               "grows ~linearly in k, so 3 would save 25%.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+/// E18 — Engine micro-benchmarks (google-benchmark): generator and round
+/// loop throughput, the costs a downstream user of the library pays.
+
+#include <benchmark/benchmark.h>
+
+#include "rrb/graph/generators.hpp"
+#include "rrb/phonecall/edge_ids.hpp"
+#include "rrb/phonecall/engine.hpp"
+#include "rrb/protocols/baselines.hpp"
+#include "rrb/protocols/four_choice.hpp"
+
+namespace rrb {
+namespace {
+
+void BM_ConfigurationModel(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    Graph g = configuration_model(n, 8, rng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ConfigurationModel)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_RandomRegularSimple(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    Graph g = random_regular_simple(n, 8, rng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RandomRegularSimple)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_EdgeIdMap(benchmark::State& state) {
+  Rng rng(3);
+  const Graph g = configuration_model(static_cast<NodeId>(state.range(0)),
+                                      8, rng);
+  for (auto _ : state) {
+    EdgeIdMap map = build_edge_id_map(g);
+    benchmark::DoNotOptimize(map.num_edges);
+  }
+}
+BENCHMARK(BM_EdgeIdMap)->Arg(1 << 14);
+
+void BM_PushBroadcast(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng grng(4);
+  const Graph g = random_regular_simple(n, 8, grng);
+  Rng rng(5);
+  for (auto _ : state) {
+    GraphTopology topo(g);
+    PhoneCallEngine<GraphTopology> engine(topo, ChannelConfig{}, rng);
+    PushProtocol push;
+    const RunResult r = engine.run(push, NodeId{0}, RunLimits{});
+    benchmark::DoNotOptimize(r.push_tx);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PushBroadcast)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_FourChoiceBroadcast(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng grng(6);
+  const Graph g = random_regular_simple(n, 8, grng);
+  Rng rng(7);
+  ChannelConfig chan;
+  chan.num_choices = 4;
+  for (auto _ : state) {
+    GraphTopology topo(g);
+    PhoneCallEngine<GraphTopology> engine(topo, chan, rng);
+    FourChoiceConfig fc;
+    fc.n_estimate = n;
+    FourChoiceBroadcast alg(fc);
+    const RunResult r = engine.run(alg, NodeId{0}, RunLimits{});
+    benchmark::DoNotOptimize(r.push_tx);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FourChoiceBroadcast)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_SampleDistinctSmall(benchmark::State& state) {
+  Rng rng(8);
+  std::array<std::uint32_t, 8> buf{};
+  for (auto _ : state) {
+    rng.sample_distinct_small(32, 4, std::span<std::uint32_t>(buf));
+    benchmark::DoNotOptimize(buf[0]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SampleDistinctSmall);
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,103 @@
+#pragma once
+
+/// Shared helpers for the experiment harness binaries (bench_e1 .. e17).
+/// Every binary runs argument-free with laptop-scale defaults and prints
+/// paper-style tables; EXPERIMENTS.md records the claim each one checks.
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "rrb/analysis/fit.hpp"
+#include "rrb/common/math.hpp"
+#include "rrb/common/table.hpp"
+#include "rrb/graph/generators.hpp"
+#include "rrb/phonecall/engine.hpp"
+#include "rrb/protocols/baselines.hpp"
+#include "rrb/protocols/four_choice.hpp"
+#include "rrb/protocols/median_counter.hpp"
+#include "rrb/protocols/sequentialised.hpp"
+#include "rrb/protocols/throttled.hpp"
+#include "rrb/sim/trace.hpp"
+#include "rrb/sim/trial.hpp"
+
+namespace rrb::bench {
+
+/// Header printed by every experiment binary.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "=====================================================\n"
+            << id << "\n"
+            << claim << "\n"
+            << "=====================================================\n";
+}
+
+inline GraphFactory regular_graph(NodeId n, NodeId d) {
+  return [n, d](Rng& rng) { return random_regular_simple(n, d, rng); };
+}
+
+inline GraphFactory config_model_graph(NodeId n, NodeId d) {
+  return [n, d](Rng& rng) { return configuration_model(n, d, rng); };
+}
+
+inline ProtocolFactory four_choice_protocol(std::uint64_t n_estimate,
+                                            double alpha = 1.5) {
+  return [n_estimate, alpha](const Graph&) {
+    FourChoiceConfig cfg;
+    cfg.n_estimate = n_estimate;
+    cfg.alpha = alpha;
+    return std::make_unique<FourChoiceBroadcast>(cfg);
+  };
+}
+
+inline ProtocolFactory four_choice_large_d_protocol(std::uint64_t n_estimate,
+                                                    double alpha = 1.5) {
+  return [n_estimate, alpha](const Graph&) {
+    FourChoiceConfig cfg;
+    cfg.n_estimate = n_estimate;
+    cfg.alpha = alpha;
+    return std::make_unique<FourChoiceLargeDegree>(cfg);
+  };
+}
+
+inline ProtocolFactory push_protocol() {
+  return [](const Graph&) { return std::make_unique<PushProtocol>(); };
+}
+
+inline ProtocolFactory pull_protocol() {
+  return [](const Graph&) { return std::make_unique<PullProtocol>(); };
+}
+
+inline ProtocolFactory push_pull_protocol() {
+  return [](const Graph&) { return std::make_unique<PushPullProtocol>(); };
+}
+
+inline ProtocolFactory sequentialised_protocol(std::uint64_t n_estimate,
+                                               double alpha = 1.5) {
+  return [n_estimate, alpha](const Graph&) {
+    FourChoiceConfig cfg;
+    cfg.n_estimate = n_estimate;
+    cfg.alpha = alpha;
+    return std::make_unique<SequentialisedFourChoice>(cfg);
+  };
+}
+
+inline ProtocolFactory median_counter_protocol(std::uint64_t n_estimate) {
+  return [n_estimate](const Graph&) {
+    MedianCounterConfig cfg;
+    cfg.n_estimate = n_estimate;
+    return std::make_unique<MedianCounterProtocol>(cfg);
+  };
+}
+
+/// Print a proportional-fit line "<label>: y ≈ a*x, R² = r".
+inline void print_fit(const std::string& label,
+                      const std::vector<double>& xs,
+                      const std::vector<double>& ys) {
+  const ProportionalFit fit = fit_proportional(xs, ys);
+  std::cout << label << ": slope " << fit.slope << ", R^2 " << fit.r2
+            << "\n";
+}
+
+}  // namespace rrb::bench

@@ -1,0 +1,71 @@
+/// X2 (extension) — related work [11]/[13] context: the four-choice
+/// modification was first analysed on G(n,p) (Elsässer–Sauerwald,
+/// SODA'08); the reproduced paper extends it to sparse random *regular*
+/// graphs. We run Algorithm 1 on G(n,p) at several average degrees and on
+/// G(n,d), confirming the behaviour transfers across the two models.
+
+#include "bench_util.hpp"
+
+#include <stdexcept>
+
+#include "rrb/graph/algorithms.hpp"
+
+using namespace rrb;
+using namespace rrb::bench;
+
+int main() {
+  banner("X2: G(n,p) vs G(n,d) — the four-choice algorithm across random "
+         "graph models",
+         "claim (§1.1/[13]): O(n log log n) transmissions first shown for "
+         "Gnp; the paper extends it to sparse regular graphs");
+
+  const NodeId n = 1 << 14;
+
+  Table table({"model", "avg degree", "ok", "done@", "tx/node"});
+  table.set_title("Algorithm 1, n = 2^14 (5 trials)");
+
+  // Average degrees at or above the G(n,p) connectivity threshold
+  // (log n ≈ 10 at n = 2^14); below it isolated vertices appear w.h.p.
+  for (const double avg_d : {12.0, 16.0, 32.0}) {
+    const double p = avg_d / static_cast<double>(n - 1);
+    TrialConfig cfg;
+    cfg.trials = 5;
+    cfg.seed = 0xb2 + static_cast<std::uint64_t>(avg_d);
+    cfg.channel.num_choices = 4;
+    const TrialOutcome gnp_out = run_trials(
+        [n, p](Rng& rng) {
+          // Reject the (vanishingly rare at these degrees) disconnected
+          // draws so completion reflects the broadcast, not isolated nodes.
+          for (int attempt = 0; attempt < 32; ++attempt) {
+            Graph g = gnp(n, p, rng);
+            if (is_connected(g)) return g;
+          }
+          throw std::runtime_error("gnp stayed disconnected");
+        },
+        four_choice_protocol(n), cfg);
+    table.begin_row();
+    table.add(std::string("G(n,p)"));
+    table.add(avg_d, 0);
+    table.add(gnp_out.completion_rate, 2);
+    table.add(gnp_out.completion_round.mean, 1);
+    table.add(gnp_out.tx_per_node.mean, 2);
+
+    TrialConfig reg_cfg = cfg;
+    reg_cfg.seed = 0xb3 + static_cast<std::uint64_t>(avg_d);
+    const TrialOutcome reg_out =
+        run_trials(regular_graph(n, static_cast<NodeId>(avg_d)),
+                   four_choice_protocol(n), reg_cfg);
+    table.begin_row();
+    table.add(std::string("G(n,d)"));
+    table.add(avg_d, 0);
+    table.add(reg_out.completion_rate, 2);
+    table.add(reg_out.completion_round.mean, 1);
+    table.add(reg_out.tx_per_node.mean, 2);
+  }
+  std::cout << table << "\n";
+  std::cout << "expected shape: matching completion and transmission "
+               "profiles across the two\nmodels at equal average degree — "
+               "the paper's extension of [13] beyond the\nlog-degree "
+               "barrier behaves the same way the Gnp original does.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "rrb/analysis/fit.hpp"
+
+#include <cmath>
+
+#include "rrb/common/check.hpp"
+
+namespace rrb {
+
+namespace {
+
+[[nodiscard]] double r_squared(std::span<const double> ys,
+                               std::span<const double> predictions) {
+  double mean = 0.0;
+  for (const double y : ys) mean += y;
+  mean /= static_cast<double>(ys.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    ss_res += (ys[i] - predictions[i]) * (ys[i] - predictions[i]);
+    ss_tot += (ys[i] - mean) * (ys[i] - mean);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace
+
+ProportionalFit fit_proportional(std::span<const double> xs,
+                                 std::span<const double> ys) {
+  RRB_REQUIRE(xs.size() == ys.size(), "size mismatch");
+  RRB_REQUIRE(!xs.empty(), "empty data");
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += xs[i] * ys[i];
+    sxx += xs[i] * xs[i];
+  }
+  RRB_REQUIRE(sxx > 0.0, "degenerate x data");
+  ProportionalFit fit;
+  fit.slope = sxy / sxx;
+  std::vector<double> pred(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) pred[i] = fit.slope * xs[i];
+  fit.r2 = r_squared(ys, pred);
+  return fit;
+}
+
+AffineFit fit_affine(std::span<const double> xs, std::span<const double> ys) {
+  RRB_REQUIRE(xs.size() == ys.size(), "size mismatch");
+  RRB_REQUIRE(xs.size() >= 2, "need >= 2 points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  RRB_REQUIRE(denom != 0.0, "degenerate x data");
+  AffineFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  std::vector<double> pred(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    pred[i] = fit.intercept + fit.slope * xs[i];
+  fit.r2 = r_squared(ys, pred);
+  return fit;
+}
+
+PowerFit fit_power(std::span<const double> xs, std::span<const double> ys) {
+  RRB_REQUIRE(xs.size() == ys.size(), "size mismatch");
+  std::vector<double> lx(xs.size());
+  std::vector<double> ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    RRB_REQUIRE(xs[i] > 0.0 && ys[i] > 0.0, "fit_power needs positive data");
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  const AffineFit affine = fit_affine(lx, ly);
+  PowerFit fit;
+  fit.exponent = affine.slope;
+  fit.coefficient = std::exp(affine.intercept);
+  fit.r2 = affine.r2;
+  return fit;
+}
+
+double mean_consecutive_ratio(std::span<const double> ys) {
+  double log_sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i + 1 < ys.size(); ++i) {
+    if (ys[i] <= 0.0 || ys[i + 1] <= 0.0) continue;
+    log_sum += std::log(ys[i + 1] / ys[i]);
+    ++count;
+  }
+  return count == 0 ? 0.0 : std::exp(log_sum / static_cast<double>(count));
+}
+
+}  // namespace rrb

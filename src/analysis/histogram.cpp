@@ -1,0 +1,73 @@
+#include "rrb/analysis/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace rrb {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  RRB_REQUIRE(bins >= 1, "histogram needs >= 1 bin");
+  RRB_REQUIRE(lo < hi, "histogram needs lo < hi");
+}
+
+void Histogram::add(double value) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::int64_t>(std::floor((value - lo_) / width));
+  bin = std::clamp<std::int64_t>(bin, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (const double v : values) add(v);
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  RRB_REQUIRE(bin < counts_.size(), "bin out of range");
+  return counts_[bin];
+}
+
+std::pair<double, double> Histogram::bin_bounds(std::size_t bin) const {
+  RRB_REQUIRE(bin < counts_.size(), "bin out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return {lo_ + width * static_cast<double>(bin),
+          lo_ + width * static_cast<double>(bin + 1)};
+}
+
+std::string Histogram::to_string(std::size_t max_bar) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto [lo, hi] = bin_bounds(b);
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        static_cast<double>(max_bar));
+    os << "[" << lo << ", " << hi << ")  " << counts_[b] << "  "
+       << std::string(bar, '#') << "\n";
+  }
+  return os.str();
+}
+
+double quantile(std::span<const double> values, double q) {
+  RRB_REQUIRE(!values.empty(), "quantile of empty sample");
+  RRB_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto idx = static_cast<std::size_t>(std::floor(pos));
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= sorted.size()) return sorted.back();
+  return sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac;
+}
+
+double confidence95_halfwidth(double stddev, std::size_t count) {
+  RRB_REQUIRE(count >= 1, "confidence interval needs a sample");
+  return 1.96 * stddev / std::sqrt(static_cast<double>(count));
+}
+
+}  // namespace rrb

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+/// \file fit.hpp
+/// Least-squares fitting utilities used by the experiment harness to test
+/// the paper's asymptotic claims against measured data: rounds vs a·log n,
+/// transmissions vs a·n·log log n (Theorems 2/3) or a·n·log n / log d
+/// (Theorem 1), and growth/decay factors within phases.
+
+namespace rrb {
+
+/// y ≈ slope·x (through the origin). r2 is computed against the mean of y.
+struct ProportionalFit {
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+[[nodiscard]] ProportionalFit fit_proportional(std::span<const double> xs,
+                                               std::span<const double> ys);
+
+/// y ≈ intercept + slope·x.
+struct AffineFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+[[nodiscard]] AffineFit fit_affine(std::span<const double> xs,
+                                   std::span<const double> ys);
+
+/// Fit y ≈ c·x^e on log–log scale; returns the exponent e, the coefficient
+/// c, and the log-space R². Requires strictly positive data.
+struct PowerFit {
+  double exponent = 0.0;
+  double coefficient = 0.0;
+  double r2 = 0.0;
+};
+[[nodiscard]] PowerFit fit_power(std::span<const double> xs,
+                                 std::span<const double> ys);
+
+/// Geometric mean of consecutive ratios y[i+1]/y[i]; the paper's per-round
+/// growth (Lemmas 1–2) and decay (Lemma 3) factors. Zero entries are
+/// skipped pairwise.
+[[nodiscard]] double mean_consecutive_ratio(std::span<const double> ys);
+
+}  // namespace rrb

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rrb/common/check.hpp"
+
+/// \file histogram.hpp
+/// Small statistics helpers for experiment reporting: fixed-bin histograms
+/// (degree distributions, receipt-round distributions) and quantiles /
+/// normal-approximation confidence intervals over trial samples.
+
+namespace rrb {
+
+/// Equal-width histogram over [lo, hi]; values outside clamp to the end
+/// bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  [[nodiscard]] std::size_t num_bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// [lower, upper) bounds of a bin (last bin is closed at hi).
+  [[nodiscard]] std::pair<double, double> bin_bounds(std::size_t bin) const;
+
+  /// Render as rows of "lo..hi  count  bar".
+  [[nodiscard]] std::string to_string(std::size_t max_bar = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// q-quantile (0 <= q <= 1) by linear interpolation over the sorted sample.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Half-width of the 95% normal-approximation confidence interval for the
+/// mean of a sample with the given standard deviation and size.
+[[nodiscard]] double confidence95_halfwidth(double stddev, std::size_t count);
+
+}  // namespace rrb

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+/// \file check.hpp
+/// Precondition / invariant checking macros.
+///
+/// Following the Core Guidelines (I.6, E.12), violated preconditions raise
+/// exceptions carrying enough context to debug; they are always on, because
+/// this library's correctness claims (exact transmission accounting) depend
+/// on them even in release builds.
+
+namespace rrb::detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace rrb::detail
+
+/// Check a caller-supplied precondition; throws std::logic_error on failure.
+#define RRB_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::rrb::detail::check_failed("Precondition", #cond, __FILE__,          \
+                                  __LINE__, (msg));                         \
+  } while (false)
+
+/// Check an internal invariant; throws std::logic_error on failure.
+#define RRB_ASSERT(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::rrb::detail::check_failed("Invariant", #cond, __FILE__, __LINE__,   \
+                                  (msg));                                   \
+  } while (false)

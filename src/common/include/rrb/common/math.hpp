@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "rrb/common/check.hpp"
+
+/// \file math.hpp
+/// Small numeric helpers used throughout the protocols and the analysis
+/// layer. The protocol phase lengths in the paper are expressed in terms of
+/// log n and log log n; these helpers pin down the exact conventions used
+/// by every module (natural base for continuous fits, base-2 ceilings for
+/// round counts).
+
+namespace rrb {
+
+/// Natural logarithm of n, clamped so that log_n(1) is well-defined (> 0).
+[[nodiscard]] inline double log_n(std::uint64_t n) {
+  RRB_REQUIRE(n >= 1, "log_n requires n >= 1");
+  return std::log(static_cast<double>(n < 2 ? 2 : n));
+}
+
+/// log log n with the same clamping; always >= log log 4 > 0.
+[[nodiscard]] inline double log_log_n(std::uint64_t n) {
+  const double ln = log_n(n < 4 ? 4 : n);
+  return std::log(ln);
+}
+
+/// Ceiling of log2(n) for n >= 1.
+[[nodiscard]] inline int ceil_log2(std::uint64_t n) {
+  RRB_REQUIRE(n >= 1, "ceil_log2 requires n >= 1");
+  int k = 0;
+  std::uint64_t v = 1;
+  while (v < n) {
+    v <<= 1U;
+    ++k;
+  }
+  return k;
+}
+
+/// Floor of log2(n) for n >= 1.
+[[nodiscard]] inline int floor_log2(std::uint64_t n) {
+  RRB_REQUIRE(n >= 1, "floor_log2 requires n >= 1");
+  int k = -1;
+  while (n != 0) {
+    n >>= 1U;
+    ++k;
+  }
+  return k;
+}
+
+/// True iff n is a power of two (n >= 1).
+[[nodiscard]] inline bool is_power_of_two(std::uint64_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Integer ceiling division.
+[[nodiscard]] inline std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  RRB_REQUIRE(b != 0, "ceil_div by zero");
+  return (a + b - 1) / b;
+}
+
+/// The Fountoulakis–Panagiotou constant C_d: the push protocol on a random
+/// d-regular graph completes in (1 + o(1)) * C_d * ln n rounds, where
+///   C_d = 1/ln(2(1 - 1/d)) - 1/(d ln(1 - 1/d)).
+[[nodiscard]] inline double push_constant_cd(int d) {
+  RRB_REQUIRE(d >= 3, "push_constant_cd requires d >= 3");
+  const double dd = d;
+  return 1.0 / std::log(2.0 * (1.0 - 1.0 / dd)) -
+         1.0 / (dd * std::log(1.0 - 1.0 / dd));
+}
+
+}  // namespace rrb

@@ -1,0 +1,106 @@
+#include "rrb/core/broadcast.hpp"
+
+#include "rrb/common/check.hpp"
+#include "rrb/protocols/baselines.hpp"
+#include "rrb/protocols/four_choice.hpp"
+#include "rrb/protocols/median_counter.hpp"
+#include "rrb/protocols/sequentialised.hpp"
+#include "rrb/protocols/throttled.hpp"
+
+namespace rrb {
+
+const char* scheme_name(BroadcastScheme scheme) {
+  switch (scheme) {
+    case BroadcastScheme::kPush: return "push";
+    case BroadcastScheme::kPull: return "pull";
+    case BroadcastScheme::kPushPull: return "push-pull";
+    case BroadcastScheme::kFixedHorizonPush: return "push/fixed-horizon";
+    case BroadcastScheme::kMedianCounter: return "median-counter";
+    case BroadcastScheme::kThrottledPushPull: return "throttled-push-pull";
+    case BroadcastScheme::kFourChoice: return "four-choice";
+    case BroadcastScheme::kSequentialised: return "four-choice/sequentialised";
+  }
+  return "?";
+}
+
+SchemeParts make_scheme(const Graph& graph, const BroadcastOptions& options) {
+  RRB_REQUIRE(graph.num_nodes() >= 2, "broadcast needs >= 2 nodes");
+  const std::uint64_t n_est =
+      options.n_estimate != 0 ? options.n_estimate : graph.num_nodes();
+
+  SchemeParts parts;
+  parts.channel.failure_prob = options.failure_prob;
+
+  switch (options.scheme) {
+    case BroadcastScheme::kPush:
+      parts.protocol = std::make_unique<PushProtocol>();
+      break;
+    case BroadcastScheme::kPull:
+      parts.protocol = std::make_unique<PullProtocol>();
+      break;
+    case BroadcastScheme::kPushPull:
+      parts.protocol = std::make_unique<PushPullProtocol>();
+      break;
+    case BroadcastScheme::kFixedHorizonPush: {
+      // Horizon needs the degree; fall back to the mean for irregular
+      // graphs (the constant C_d is flat for d above ~8 anyway).
+      Count total = 0;
+      for (NodeId v = 0; v < graph.num_nodes(); ++v)
+        total += graph.degree(v);
+      const int d = std::max<int>(
+          3, static_cast<int>(total / graph.num_nodes()));
+      parts.protocol =
+          std::make_unique<FixedHorizonPush>(make_push_horizon(n_est, d));
+      break;
+    }
+    case BroadcastScheme::kMedianCounter: {
+      MedianCounterConfig cfg;
+      cfg.n_estimate = n_est;
+      parts.protocol = std::make_unique<MedianCounterProtocol>(cfg);
+      break;
+    }
+    case BroadcastScheme::kThrottledPushPull: {
+      ThrottledConfig cfg;
+      cfg.n_estimate = n_est;
+      cfg.degree = std::max<NodeId>(2, graph.min_degree());
+      parts.protocol = std::make_unique<ThrottledPushPull>(cfg);
+      break;
+    }
+    case BroadcastScheme::kFourChoice: {
+      FourChoiceConfig cfg;
+      cfg.n_estimate = n_est;
+      cfg.alpha = options.alpha;
+      // Algorithm 1 vs 2 selected by degree, as the paper prescribes.
+      const NodeId d = graph.regular_degree().value_or(graph.min_degree());
+      parts.protocol = make_four_choice_protocol(cfg, d);
+      parts.channel.num_choices = 4;
+      break;
+    }
+    case BroadcastScheme::kSequentialised: {
+      FourChoiceConfig cfg;
+      cfg.n_estimate = n_est;
+      cfg.alpha = options.alpha;
+      parts.protocol = std::make_unique<SequentialisedFourChoice>(cfg);
+      parts.channel.num_choices = 1;
+      parts.channel.memory = 3;
+      break;
+    }
+  }
+  RRB_ASSERT(parts.protocol != nullptr, "unhandled scheme");
+  return parts;
+}
+
+RunResult broadcast(const Graph& graph, NodeId source,
+                    const BroadcastOptions& options) {
+  RRB_REQUIRE(source < graph.num_nodes(), "source out of range");
+  SchemeParts parts = make_scheme(graph, options);
+  Rng rng(options.seed);
+  GraphTopology topology(graph);
+  PhoneCallEngine<GraphTopology> engine(topology, parts.channel, rng);
+  RunLimits limits;
+  limits.max_rounds = options.max_rounds;
+  limits.record_rounds = options.record_rounds;
+  return engine.run(*parts.protocol, source, limits);
+}
+
+}  // namespace rrb

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "rrb/graph/graph.hpp"
+#include "rrb/phonecall/engine.hpp"
+#include "rrb/phonecall/protocol.hpp"
+#include "rrb/phonecall/result.hpp"
+
+/// \file broadcast.hpp
+/// One-call façade over the library: pick a scheme, get a RunResult.
+///
+/// Each scheme bundles the protocol *and* the channel configuration it is
+/// specified with — the pairing is a correctness concern, not a
+/// convenience (the four-choice algorithms assume four distinct channels
+/// per round; the sequentialised variant assumes one channel with three
+/// rounds of memory; the classical baselines assume the one-choice phone
+/// call model). Power users compose PhoneCallEngine + protocols directly;
+/// this header is the 90% path.
+
+namespace rrb {
+
+/// The broadcast schemes the library implements.
+enum class BroadcastScheme {
+  kPush,               ///< classical push, oracle-terminated
+  kPull,               ///< classical pull, oracle-terminated
+  kPushPull,           ///< classical push&pull, oracle-terminated
+  kFixedHorizonPush,   ///< self-terminating Monte Carlo push
+  kMedianCounter,      ///< Karp et al. counter-based push&pull
+  kThrottledPushPull,  ///< age-throttled push&pull (Elsässer-style)
+  kFourChoice,         ///< the paper's Algorithm 1 / 2, picked by degree
+  kSequentialised,     ///< §1.2 footnote 2: 1 choice/step + memory 3
+};
+
+/// Options for broadcast(). Defaults reproduce the paper's setting.
+struct BroadcastOptions {
+  BroadcastScheme scheme = BroadcastScheme::kFourChoice;
+  std::uint64_t seed = 0xb40adca57ULL;
+
+  /// Size estimate n̂ for schemes that need one; 0 = use the exact size.
+  std::uint64_t n_estimate = 0;
+
+  /// Algorithm 1/2 phase constant.
+  double alpha = 1.5;
+
+  /// Per-channel failure probability (the "limited communication
+  /// failures" knob).
+  double failure_prob = 0.0;
+
+  /// Safety cap on rounds; protocols terminate themselves well before this
+  /// unless something is deeply wrong.
+  Round max_rounds = 1 << 20;
+
+  /// Record per-round statistics into the result.
+  bool record_rounds = false;
+};
+
+/// Broadcast a message from `source` over `graph` and return the run
+/// statistics. Throws std::logic_error on invalid arguments (empty graph,
+/// source out of range, bad options).
+[[nodiscard]] RunResult broadcast(const Graph& graph, NodeId source,
+                                  const BroadcastOptions& options = {});
+
+/// The protocol instance and channel configuration a scheme uses —
+/// exposed so harnesses can compose them with a custom engine (churn
+/// hooks, failure models, observers) while keeping the canonical pairing.
+struct SchemeParts {
+  std::unique_ptr<BroadcastProtocol> protocol;
+  ChannelConfig channel;
+};
+[[nodiscard]] SchemeParts make_scheme(const Graph& graph,
+                                      const BroadcastOptions& options);
+
+/// Human-readable scheme name (stable; used in reports).
+[[nodiscard]] const char* scheme_name(BroadcastScheme scheme);
+
+}  // namespace rrb

@@ -1,0 +1,244 @@
+#include "rrb/graph/algorithms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace rrb {
+
+std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId src) {
+  RRB_REQUIRE(src < g.num_nodes(), "bfs: src out of range");
+  std::vector<std::int32_t> dist(g.num_nodes(), kUnreachable);
+  std::vector<NodeId> frontier{src};
+  dist[src] = 0;
+  std::vector<NodeId> next;
+  std::int32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (const NodeId v : frontier)
+      for (const NodeId w : g.neighbors(v))
+        if (dist[w] == kUnreachable) {
+          dist[w] = level;
+          next.push_back(w);
+        }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  if (n <= 1) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::int32_t d) { return d == kUnreachable; });
+}
+
+Components connected_components(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  Components result;
+  result.label.assign(n, kNoNode);
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (result.label[s] != kNoNode) continue;
+    const NodeId id = result.count++;
+    stack.push_back(s);
+    result.label[s] = id;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const NodeId w : g.neighbors(v))
+        if (result.label[w] == kNoNode) {
+          result.label[w] = id;
+          stack.push_back(w);
+        }
+    }
+  }
+  return result;
+}
+
+std::int32_t eccentricity(const Graph& g, NodeId src) {
+  const auto dist = bfs_distances(g, src);
+  std::int32_t ecc = 0;
+  for (const std::int32_t d : dist) {
+    if (d == kUnreachable)
+      throw std::runtime_error("eccentricity: graph is disconnected");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::int32_t diameter_exact(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  RRB_REQUIRE(n >= 1, "diameter of empty graph");
+  std::int32_t diam = 0;
+  for (NodeId v = 0; v < n; ++v) diam = std::max(diam, eccentricity(g, v));
+  return diam;
+}
+
+std::int32_t diameter_double_sweep(const Graph& g, Rng& rng) {
+  const NodeId n = g.num_nodes();
+  RRB_REQUIRE(n >= 1, "diameter of empty graph");
+  const auto start = static_cast<NodeId>(rng.uniform_u64(n));
+  const auto d1 = bfs_distances(g, start);
+  NodeId far = start;
+  std::int32_t best = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (d1[v] == kUnreachable)
+      throw std::runtime_error("diameter_double_sweep: disconnected");
+    if (d1[v] > best) {
+      best = d1[v];
+      far = v;
+    }
+  }
+  return eccentricity(g, far);
+}
+
+double second_eigenvalue_regular(const Graph& g, int iterations, Rng& rng) {
+  const NodeId n = g.num_nodes();
+  RRB_REQUIRE(n >= 2, "second_eigenvalue_regular: n >= 2");
+  RRB_REQUIRE(g.regular_degree().has_value(),
+              "second_eigenvalue_regular requires a regular graph");
+  RRB_REQUIRE(iterations >= 1, "need >= 1 iteration");
+
+  std::vector<double> x(n), y(n);
+  for (auto& v : x) v = rng.uniform_double() - 0.5;
+
+  auto deflate = [&](std::vector<double>& vec) {
+    // Remove the all-ones component (top eigenvector of a regular graph).
+    const double mean =
+        std::accumulate(vec.begin(), vec.end(), 0.0) / static_cast<double>(n);
+    for (auto& v : vec) v -= mean;
+  };
+  auto norm = [&](const std::vector<double>& vec) {
+    double s = 0.0;
+    for (const double v : vec) s += v * v;
+    return std::sqrt(s);
+  };
+
+  deflate(x);
+  double nx = norm(x);
+  RRB_ASSERT(nx > 0.0, "degenerate start vector");
+  for (auto& v : x) v /= nx;
+
+  double lambda = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(y.begin(), y.end(), 0.0);
+    for (NodeId v = 0; v < n; ++v) {
+      double acc = 0.0;
+      for (const NodeId w : g.neighbors(v)) acc += x[w];
+      y[v] = acc;
+    }
+    deflate(y);
+    lambda = norm(y);
+    if (lambda == 0.0) return 0.0;
+    for (NodeId v = 0; v < n; ++v) x[v] = y[v] / lambda;
+  }
+  return lambda;
+}
+
+Count edge_boundary(const Graph& g, const std::vector<std::uint8_t>& in_set) {
+  RRB_REQUIRE(in_set.size() == g.num_nodes(), "in_set size mismatch");
+  Count boundary = 0;
+  const NodeId n = g.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    if (!in_set[v]) continue;
+    for (const NodeId w : g.neighbors(v))
+      if (!in_set[w]) ++boundary;
+  }
+  return boundary;
+}
+
+Count internal_edges(const Graph& g,
+                     const std::vector<std::uint8_t>& in_set) {
+  RRB_REQUIRE(in_set.size() == g.num_nodes(), "in_set size mismatch");
+  Count twice = 0;
+  const NodeId n = g.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    if (!in_set[v]) continue;
+    for (const NodeId w : g.neighbors(v))
+      if (in_set[w]) ++twice;  // self-loops appear twice in neighbors(v)
+  }
+  return twice / 2;
+}
+
+MixingCheck expander_mixing_check(const Graph& g,
+                                  const std::vector<std::uint8_t>& in_set,
+                                  double lambda) {
+  const auto d_opt = g.regular_degree();
+  RRB_REQUIRE(d_opt.has_value(), "expander_mixing_check: regular graph only");
+  const double d = static_cast<double>(*d_opt);
+  const double n = static_cast<double>(g.num_nodes());
+  double s = 0.0;
+  for (const auto flag : in_set) s += flag ? 1.0 : 0.0;
+  const double sbar = n - s;
+  const double e = static_cast<double>(edge_boundary(g, in_set));
+  MixingCheck check;
+  check.deviation = std::abs(e - d * s * sbar / n);
+  check.bound = lambda * std::sqrt(s * sbar);
+  return check;
+}
+
+std::vector<std::pair<NodeId, NodeId>> greedy_matching(const Graph& g) {
+  std::vector<std::uint8_t> all(g.num_nodes(), 1);
+  return greedy_matching_in_set(g, all);
+}
+
+std::vector<std::pair<NodeId, NodeId>> greedy_matching_in_set(
+    const Graph& g, const std::vector<std::uint8_t>& in_set) {
+  RRB_REQUIRE(in_set.size() == g.num_nodes(), "in_set size mismatch");
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint8_t> matched(n, 0);
+  std::vector<std::pair<NodeId, NodeId>> result;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!in_set[v] || matched[v]) continue;
+    for (const NodeId w : g.neighbors(v)) {
+      if (w == v || !in_set[w] || matched[w]) continue;
+      matched[v] = matched[w] = 1;
+      result.emplace_back(v, w);
+      break;
+    }
+  }
+  return result;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  RRB_REQUIRE(n > 0, "degree_stats of empty graph");
+  DegreeStats stats;
+  stats.min = g.degree(0);
+  stats.max = g.degree(0);
+  Count total = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId d = g.degree(v);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+    total += d;
+  }
+  stats.mean = static_cast<double>(total) / static_cast<double>(n);
+  return stats;
+}
+
+double global_clustering_coefficient(const Graph& g) {
+  RRB_REQUIRE(g.is_simple(), "clustering coefficient needs a simple graph");
+  const NodeId n = g.num_nodes();
+  Count triangles_times_3 = 0;  // each triangle counted once per corner
+  Count wedges = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto adj = g.neighbors(v);
+    const Count d = adj.size();
+    if (d >= 2) wedges += d * (d - 1) / 2;
+    // Count edges among neighbours via sorted-set intersection.
+    for (std::size_t i = 0; i < adj.size(); ++i)
+      for (std::size_t j = i + 1; j < adj.size(); ++j)
+        if (g.has_edge(adj[i], adj[j])) ++triangles_times_3;
+  }
+  if (wedges == 0) return 0.0;
+  return static_cast<double>(triangles_times_3) /
+         static_cast<double>(wedges);
+}
+
+}  // namespace rrb

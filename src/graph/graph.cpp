@@ -1,0 +1,126 @@
+#include "rrb/graph/graph.hpp"
+
+#include <algorithm>
+
+namespace rrb {
+
+Graph::Graph(NodeId n) : offsets_(static_cast<std::size_t>(n) + 1, 0) {}
+
+Graph Graph::from_edges(NodeId n, std::span<const Edge> edges) {
+  Graph g(n);
+  g.num_edges_ = edges.size();
+
+  // Count stub degrees: each endpoint once, self-loops twice.
+  std::vector<Count> degree(n, 0);
+  for (const Edge& e : edges) {
+    RRB_REQUIRE(e.u < n && e.v < n, "from_edges: endpoint out of range");
+    ++degree[e.u];
+    ++degree[e.v];
+    if (e.u == e.v) ++g.num_self_loops_;
+  }
+
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + degree[v];
+  g.adjacency_.resize(g.offsets_[n]);
+
+  std::vector<Count> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    g.adjacency_[cursor[e.u]++] = e.v;
+    g.adjacency_[cursor[e.v]++] = e.u;  // self-loop: second entry at u
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    auto* first = g.adjacency_.data() + g.offsets_[v];
+    auto* last = g.adjacency_.data() + g.offsets_[v + 1];
+    std::sort(first, last);
+  }
+
+  // Parallel-extra count: for each unordered pair {u,v}, multiplicity - 1
+  // summed. Count from the sorted adjacency of the smaller endpoint; loops
+  // are handled separately (multiplicity m of a loop contributes m - 1).
+  Count parallel = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto adj = g.neighbors(v);
+    std::size_t i = 0;
+    while (i < adj.size()) {
+      std::size_t j = i;
+      while (j < adj.size() && adj[j] == adj[i]) ++j;
+      const NodeId w = adj[i];
+      const std::size_t run = j - i;
+      if (w > v) {
+        parallel += run - 1;
+      } else if (w == v) {
+        // Each loop contributes two entries; run/2 loops at v.
+        parallel += run / 2 - (run >= 2 ? 1 : 0);
+      }
+      i = j;
+    }
+  }
+  g.num_parallel_ = parallel;
+  return g;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto adj = neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+NodeId Graph::edge_multiplicity(NodeId u, NodeId v) const {
+  const auto adj = neighbors(u);
+  const auto [first, last] = std::equal_range(adj.begin(), adj.end(), v);
+  const auto entries = static_cast<NodeId>(last - first);
+  return u == v ? entries / 2 : entries;
+}
+
+std::optional<NodeId> Graph::regular_degree() const {
+  const NodeId n = num_nodes();
+  if (n == 0) return std::nullopt;
+  const NodeId d = degree(0);
+  for (NodeId v = 1; v < n; ++v)
+    if (degree(v) != d) return std::nullopt;
+  return d;
+}
+
+NodeId Graph::min_degree() const {
+  const NodeId n = num_nodes();
+  RRB_REQUIRE(n > 0, "min_degree of empty graph");
+  NodeId best = degree(0);
+  for (NodeId v = 1; v < n; ++v) best = std::min(best, degree(v));
+  return best;
+}
+
+NodeId Graph::max_degree() const {
+  const NodeId n = num_nodes();
+  RRB_REQUIRE(n > 0, "max_degree of empty graph");
+  NodeId best = degree(0);
+  for (NodeId v = 1; v < n; ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+std::vector<Edge> Graph::edge_list() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges_);
+  const NodeId n = num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    const auto adj = neighbors(v);
+    std::size_t i = 0;
+    while (i < adj.size()) {
+      std::size_t j = i;
+      while (j < adj.size() && adj[j] == adj[i]) ++j;
+      const NodeId w = adj[i];
+      const std::size_t run = j - i;
+      if (w > v) {
+        for (std::size_t r = 0; r < run; ++r) out.push_back(Edge{v, w});
+      } else if (w == v) {
+        for (std::size_t r = 0; r < run / 2; ++r) out.push_back(Edge{v, v});
+      }
+      i = j;
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  return out;
+}
+
+}  // namespace rrb

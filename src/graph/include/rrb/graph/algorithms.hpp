@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "rrb/graph/graph.hpp"
+#include "rrb/rng/rng.hpp"
+
+/// \file algorithms.hpp
+/// Structural graph algorithms used by the analysis: connectivity and
+/// distance (for sanity checks and diameters), spectral estimates (the
+/// Expander-Mixing Lemma argument of Theorem 1 depends on lambda_2), edge
+/// boundaries between informed/uninformed sets, and matchings (the lower
+/// bound pairs up uninformed nodes via a matching in S).
+
+namespace rrb {
+
+/// BFS distances from src; kUnreachable for nodes in other components.
+inline constexpr std::int32_t kUnreachable = -1;
+[[nodiscard]] std::vector<std::int32_t> bfs_distances(const Graph& g,
+                                                      NodeId src);
+
+/// True iff the graph is connected (n == 0 or 1 counts as connected).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Component id per node (ids dense from 0) and the number of components.
+struct Components {
+  std::vector<NodeId> label;
+  NodeId count = 0;
+};
+[[nodiscard]] Components connected_components(const Graph& g);
+
+/// Eccentricity of src (max BFS distance); throws if disconnected from src.
+[[nodiscard]] std::int32_t eccentricity(const Graph& g, NodeId src);
+
+/// Exact diameter by all-pairs BFS. O(n * m); intended for n <= ~4096.
+/// Throws if the graph is disconnected.
+[[nodiscard]] std::int32_t diameter_exact(const Graph& g);
+
+/// Double-sweep lower bound on the diameter (often tight on random graphs);
+/// O(m). Throws if the graph is disconnected.
+[[nodiscard]] std::int32_t diameter_double_sweep(const Graph& g, Rng& rng);
+
+/// Estimate |lambda_2| of the adjacency matrix of a *regular* graph by
+/// power iteration on the subspace orthogonal to the all-ones vector (the
+/// top eigenvector of a d-regular graph). Random regular graphs satisfy
+/// |lambda_2| <= 2 sqrt(d-1) (1 + o(1)) (Friedman), which Theorem 1 uses via
+/// the Expander-Mixing Lemma.
+[[nodiscard]] double second_eigenvalue_regular(const Graph& g, int iterations,
+                                               Rng& rng);
+
+/// Number of edges with exactly one endpoint in the set (multiplicity
+/// counted). `in_set` must have size n.
+[[nodiscard]] Count edge_boundary(const Graph& g,
+                                  const std::vector<std::uint8_t>& in_set);
+
+/// Number of edges with both endpoints in the set (self-loops inside count
+/// once, multiplicity counted).
+[[nodiscard]] Count internal_edges(const Graph& g,
+                                   const std::vector<std::uint8_t>& in_set);
+
+/// Check the Expander-Mixing bound |e(S, S̄) - d|S||S̄|/n| <= lambda *
+/// sqrt(|S||S̄|) for a d-regular graph, returning the left-hand side's
+/// deviation and the right-hand side for the caller to compare.
+struct MixingCheck {
+  double deviation = 0.0;  // |e(S,S̄) - d|S||S̄|/n|
+  double bound = 0.0;      // lambda * sqrt(|S| |S̄|)
+};
+[[nodiscard]] MixingCheck expander_mixing_check(
+    const Graph& g, const std::vector<std::uint8_t>& in_set, double lambda);
+
+/// Greedy maximal matching; returns matched pairs. Deterministic order.
+[[nodiscard]] std::vector<std::pair<NodeId, NodeId>> greedy_matching(
+    const Graph& g);
+
+/// Greedy maximal matching restricted to nodes with in_set[v] != 0.
+[[nodiscard]] std::vector<std::pair<NodeId, NodeId>> greedy_matching_in_set(
+    const Graph& g, const std::vector<std::uint8_t>& in_set);
+
+/// Summary degree statistics.
+struct DegreeStats {
+  NodeId min = 0;
+  NodeId max = 0;
+  double mean = 0.0;
+};
+[[nodiscard]] DegreeStats degree_stats(const Graph& g);
+
+/// Global clustering coefficient (3 * triangles / wedges); simple graphs
+/// only. O(sum_v deg(v)^2) — fine at library scale.
+[[nodiscard]] double global_clustering_coefficient(const Graph& g);
+
+}  // namespace rrb

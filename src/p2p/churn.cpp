@@ -1,0 +1,36 @@
+#include "rrb/p2p/churn.hpp"
+
+#include <cmath>
+
+namespace rrb {
+
+int ChurnDriver::events_for_rate(double rate) {
+  const double whole = std::floor(rate);
+  const double frac = rate - whole;
+  int events = static_cast<int>(whole);
+  if (frac > 0.0 && rng_->bernoulli(frac)) ++events;
+  return events;
+}
+
+void ChurnDriver::apply(Round /*t*/) {
+  const int joins = events_for_rate(config_.joins_per_round);
+  for (int i = 0; i < joins; ++i) {
+    const auto id = overlay_->join(*rng_);
+    if (id.has_value()) {
+      ++joins_;
+      if (on_join_) on_join_(*id);
+    }
+  }
+
+  const int leaves = events_for_rate(config_.leaves_per_round);
+  for (int i = 0; i < leaves; ++i) {
+    if (overlay_->num_alive() <= config_.min_alive) break;
+    const NodeId victim = overlay_->random_alive(*rng_);
+    if (overlay_->leave(victim, *rng_)) ++leaves_;
+  }
+
+  for (int i = 0; i < config_.switches_per_round; ++i)
+    overlay_->switch_step(*rng_);
+}
+
+}  // namespace rrb

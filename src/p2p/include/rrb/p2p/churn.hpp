@@ -1,0 +1,58 @@
+#pragma once
+
+#include <functional>
+
+#include "rrb/common/types.hpp"
+#include "rrb/p2p/overlay.hpp"
+#include "rrb/rng/rng.hpp"
+
+/// \file churn.hpp
+/// Membership churn driver: applied between broadcast rounds (as the
+/// engine's RoundHook) it performs an expected number of joins and leaves
+/// per round plus a few maintenance switches, reproducing the paper's
+/// "robust against limited changes in the size of the network" setting.
+
+namespace rrb {
+
+struct ChurnConfig {
+  double joins_per_round = 0.0;   ///< expected arrivals per round
+  double leaves_per_round = 0.0;  ///< expected departures per round
+  int switches_per_round = 0;     ///< maintenance 2-switches per round
+  Count min_alive = 8;            ///< never shrink below this
+};
+
+class ChurnDriver {
+ public:
+  /// Invoked with the slot id of every successful join. Wire this to
+  /// PhoneCallEngine::reset_node so that a newcomer reusing a departed
+  /// peer's slot does not inherit its informed status.
+  using JoinCallback = std::function<void(NodeId)>;
+
+  ChurnDriver(DynamicOverlay& overlay, ChurnConfig config, Rng& rng)
+      : overlay_(&overlay), config_(config), rng_(&rng) {}
+
+  void set_join_callback(JoinCallback callback) {
+    on_join_ = std::move(callback);
+  }
+
+  /// Perform one round's worth of churn. Usable directly as a RoundHook:
+  /// `engine.set_round_hook([&](Round t) { driver.apply(t); });`
+  void apply(Round t);
+
+  [[nodiscard]] Count total_joins() const { return joins_; }
+  [[nodiscard]] Count total_leaves() const { return leaves_; }
+
+ private:
+  /// Number of events this round for an expected rate r: floor(r) plus a
+  /// Bernoulli on the fractional part.
+  [[nodiscard]] int events_for_rate(double rate);
+
+  DynamicOverlay* overlay_;
+  ChurnConfig config_;
+  Rng* rng_;
+  JoinCallback on_join_;
+  Count joins_ = 0;
+  Count leaves_ = 0;
+};
+
+}  // namespace rrb

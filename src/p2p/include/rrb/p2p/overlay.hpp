@@ -1,0 +1,93 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "rrb/common/types.hpp"
+#include "rrb/graph/graph.hpp"
+#include "rrb/rng/rng.hpp"
+
+/// \file overlay.hpp
+/// A mutable peer-to-peer overlay that stays close to a random d-regular
+/// graph under membership churn — the substrate the paper's introduction
+/// motivates ("random topologies with small degree naturally arise in P2P
+/// systems, in which overlays are generated according to a Markov
+/// process"). Degrees are allowed to drift within a constant factor of d,
+/// matching the paper's generalisation ("the degree of every node is
+/// between d and c·d").
+///
+/// Satisfies the engine's Topology concept, so broadcasts run over it
+/// directly while churn mutates it between rounds.
+
+namespace rrb {
+
+class DynamicOverlay {
+ public:
+  /// Build with `capacity` node slots, of which `initial_n` start alive and
+  /// wired as a configuration-model random d-regular multigraph.
+  DynamicOverlay(NodeId capacity, NodeId initial_n, NodeId d, Rng& rng);
+
+  // ---- Topology concept -------------------------------------------------
+  [[nodiscard]] NodeId num_slots() const {
+    return static_cast<NodeId>(adj_.size());
+  }
+  [[nodiscard]] Count num_alive() const { return alive_list_.size(); }
+  [[nodiscard]] bool is_alive(NodeId v) const { return alive_[v] != 0; }
+  [[nodiscard]] NodeId degree(NodeId v) const {
+    return static_cast<NodeId>(adj_[v].size());
+  }
+  [[nodiscard]] NodeId neighbor(NodeId v, NodeId i) const {
+    return adj_[v][i];
+  }
+
+  // ---- Dynamics ----------------------------------------------------------
+  /// A new peer joins: takes a free slot and connects to `target_degree()`
+  /// distinct random alive peers. Returns the node id, or nullopt when the
+  /// overlay is at capacity.
+  std::optional<NodeId> join(Rng& rng);
+
+  /// Peer v departs. Its neighbours' freed stubs are re-paired with each
+  /// other at random (loops discarded, so neighbour degrees can drop by
+  /// one; subsequent maintenance switches smooth this out). Returns false
+  /// if v was not alive.
+  bool leave(NodeId v, Rng& rng);
+
+  /// One random 2-switch on two uniformly chosen edges (the maintenance
+  /// Markov chain, cf. Cooper–Dyer–Greenhill / Mahlmann–Schindelhauer):
+  /// keeps the degree sequence fixed while re-randomising the wiring.
+  /// No-op when a switch would create a loop or duplicate edge.
+  void switch_step(Rng& rng);
+
+  /// Uniformly random alive node. Requires at least one alive node.
+  [[nodiscard]] NodeId random_alive(Rng& rng) const;
+
+  [[nodiscard]] NodeId target_degree() const { return d_; }
+
+  /// Total number of undirected edges currently in the overlay.
+  [[nodiscard]] Count num_edges() const;
+
+  /// Immutable snapshot of the alive subgraph *preserving node ids* (dead
+  /// slots become isolated vertices). For structural analysis in tests.
+  [[nodiscard]] Graph snapshot() const;
+
+  /// Internal consistency check (symmetry of adjacency, alive bookkeeping);
+  /// used by tests and cheap enough for periodic assertions.
+  void check_invariants() const;
+
+ private:
+  void make_alive(NodeId v);
+  void make_dead(NodeId v);
+  /// Remove one occurrence of `value` from adj_[v]; returns false if absent.
+  bool remove_adjacency(NodeId v, NodeId value);
+  void add_edge(NodeId u, NodeId v);
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  std::vector<std::vector<NodeId>> adj_;
+  std::vector<std::uint8_t> alive_;
+  std::vector<NodeId> alive_list_;  // compact list of alive ids
+  std::vector<NodeId> alive_pos_;   // index of v in alive_list_, or kNoNode
+  std::vector<NodeId> free_slots_;
+  NodeId d_;
+};
+
+}  // namespace rrb

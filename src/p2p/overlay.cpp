@@ -1,0 +1,190 @@
+#include "rrb/p2p/overlay.hpp"
+
+#include <algorithm>
+
+#include "rrb/common/check.hpp"
+#include "rrb/graph/generators.hpp"
+
+namespace rrb {
+
+DynamicOverlay::DynamicOverlay(NodeId capacity, NodeId initial_n, NodeId d,
+                               Rng& rng)
+    : adj_(capacity),
+      alive_(capacity, 0),
+      alive_pos_(capacity, kNoNode),
+      d_(d) {
+  RRB_REQUIRE(initial_n <= capacity, "initial_n exceeds capacity");
+  RRB_REQUIRE(initial_n >= d + 1, "need initial_n >= d+1");
+  RRB_REQUIRE(d >= 2, "overlay degree must be >= 2");
+
+  // Free slots are the tail ones; hand them out in increasing order.
+  for (NodeId v = capacity; v-- > initial_n;) free_slots_.push_back(v);
+  for (NodeId v = 0; v < initial_n; ++v) make_alive(v);
+
+  // Wire the initial membership as a configuration-model d-regular graph
+  // (loops dropped — they carry no connectivity value in an overlay).
+  const NodeId dd = (static_cast<std::uint64_t>(initial_n) * d) % 2 == 0
+                        ? d
+                        : d + 1;
+  const Graph g = configuration_model(initial_n, dd, rng);
+  for (const Edge& e : g.edge_list())
+    if (e.u != e.v) add_edge(e.u, e.v);
+}
+
+void DynamicOverlay::make_alive(NodeId v) {
+  RRB_ASSERT(alive_[v] == 0, "make_alive on alive node");
+  alive_[v] = 1;
+  alive_pos_[v] = static_cast<NodeId>(alive_list_.size());
+  alive_list_.push_back(v);
+}
+
+void DynamicOverlay::make_dead(NodeId v) {
+  RRB_ASSERT(alive_[v] == 1, "make_dead on dead node");
+  alive_[v] = 0;
+  const NodeId pos = alive_pos_[v];
+  const NodeId last = alive_list_.back();
+  alive_list_[pos] = last;
+  alive_pos_[last] = pos;
+  alive_list_.pop_back();
+  alive_pos_[v] = kNoNode;
+}
+
+bool DynamicOverlay::remove_adjacency(NodeId v, NodeId value) {
+  auto& list = adj_[v];
+  const auto it = std::find(list.begin(), list.end(), value);
+  if (it == list.end()) return false;
+  *it = list.back();
+  list.pop_back();
+  return true;
+}
+
+void DynamicOverlay::add_edge(NodeId u, NodeId v) {
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+}
+
+bool DynamicOverlay::has_edge(NodeId u, NodeId v) const {
+  const auto& list = adj_[u];
+  return std::find(list.begin(), list.end(), v) != list.end();
+}
+
+std::optional<NodeId> DynamicOverlay::join(Rng& rng) {
+  if (free_slots_.empty()) return std::nullopt;
+  const NodeId v = free_slots_.back();
+  free_slots_.pop_back();
+  make_alive(v);
+
+  // Connect to d distinct random alive peers (fewer if the overlay is
+  // tiny). Rejection sampling over the alive list.
+  const Count peers = num_alive() - 1;
+  const NodeId want = static_cast<NodeId>(
+      std::min<Count>(d_, peers));
+  int guard = 0;
+  NodeId made = 0;
+  while (made < want && guard < 50 * static_cast<int>(want) + 100) {
+    ++guard;
+    const NodeId u = random_alive(rng);
+    if (u == v || has_edge(v, u)) continue;
+    add_edge(v, u);
+    ++made;
+  }
+  return v;
+}
+
+bool DynamicOverlay::leave(NodeId v, Rng& rng) {
+  if (!is_alive(v)) return false;
+
+  // Detach v, collecting the endpoints whose stubs are freed.
+  std::vector<NodeId> orphans;
+  orphans.reserve(adj_[v].size());
+  for (const NodeId w : adj_[v]) {
+    if (w == v) continue;  // loop stubs vanish with the node
+    const bool removed = remove_adjacency(w, v);
+    RRB_ASSERT(removed, "asymmetric adjacency");
+    orphans.push_back(w);
+  }
+  adj_[v].clear();
+  make_dead(v);
+  free_slots_.push_back(v);
+
+  // Re-pair freed stubs at random; skip pairs that would form loops or
+  // duplicate edges (slight degree drift, smoothed by switch_step).
+  rng.shuffle(std::span<NodeId>(orphans));
+  for (std::size_t i = 0; i + 1 < orphans.size(); i += 2) {
+    const NodeId a = orphans[i];
+    const NodeId b = orphans[i + 1];
+    if (a == b || has_edge(a, b)) continue;
+    add_edge(a, b);
+  }
+  return true;
+}
+
+void DynamicOverlay::switch_step(Rng& rng) {
+  if (alive_list_.size() < 4) return;
+  // Pick two random half-edges by (alive node, slot); accept only when the
+  // 2-switch keeps the multigraph simple.
+  const NodeId u = random_alive(rng);
+  const NodeId x = random_alive(rng);
+  if (u == x || adj_[u].empty() || adj_[x].empty()) return;
+  const NodeId w =
+      adj_[u][static_cast<std::size_t>(rng.uniform_u64(adj_[u].size()))];
+  const NodeId y =
+      adj_[x][static_cast<std::size_t>(rng.uniform_u64(adj_[x].size()))];
+  // Proposed: (u,w),(x,y) -> (u,y),(x,w).
+  if (u == y || x == w || w == y) return;
+  if (has_edge(u, y) || has_edge(x, w)) return;
+  // The four endpoints are pairwise compatible; adjacency symmetry makes
+  // all four removals succeed together.
+  RRB_ASSERT(remove_adjacency(u, w) && remove_adjacency(w, u) &&
+                 remove_adjacency(x, y) && remove_adjacency(y, x),
+             "asymmetric adjacency in switch_step");
+  add_edge(u, y);
+  add_edge(x, w);
+}
+
+NodeId DynamicOverlay::random_alive(Rng& rng) const {
+  RRB_REQUIRE(!alive_list_.empty(), "no alive nodes");
+  return alive_list_[static_cast<std::size_t>(
+      rng.uniform_u64(alive_list_.size()))];
+}
+
+Count DynamicOverlay::num_edges() const {
+  Count stubs = 0;
+  for (const NodeId v : alive_list_) stubs += adj_[v].size();
+  return stubs / 2;
+}
+
+Graph DynamicOverlay::snapshot() const {
+  GraphBuilder builder(num_slots());
+  for (const NodeId v : alive_list_)
+    for (const NodeId w : adj_[v])
+      if (v < w || (v == w)) builder.add_edge(v, w);
+  return builder.build();
+}
+
+void DynamicOverlay::check_invariants() const {
+  const NodeId n = num_slots();
+  Count listed = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (alive_[v]) {
+      ++listed;
+      RRB_ASSERT(alive_pos_[v] != kNoNode && alive_list_[alive_pos_[v]] == v,
+                 "alive index broken");
+      for (const NodeId w : adj_[v]) {
+        RRB_ASSERT(alive_[w] != 0, "edge to dead node");
+        const auto& back = adj_[w];
+        RRB_ASSERT(std::count(back.begin(), back.end(), v) >=
+                       std::count(adj_[v].begin(), adj_[v].end(), w) &&
+                   std::count(back.begin(), back.end(), v) ==
+                       std::count(adj_[v].begin(), adj_[v].end(), w),
+                   "asymmetric adjacency");
+      }
+    } else {
+      RRB_ASSERT(adj_[v].empty(), "dead node with edges");
+      RRB_ASSERT(alive_pos_[v] == kNoNode, "dead node in alive index");
+    }
+  }
+  RRB_ASSERT(listed == alive_list_.size(), "alive count mismatch");
+}
+
+}  // namespace rrb

@@ -1,0 +1,59 @@
+#include "rrb/phonecall/edge_ids.hpp"
+
+#include <algorithm>
+
+#include "rrb/common/check.hpp"
+
+namespace rrb {
+
+EdgeIdMap build_edge_id_map(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  EdgeIdMap map;
+  map.slot_offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v)
+    map.slot_offsets[v + 1] = map.slot_offsets[v] + g.degree(v);
+  map.slot_to_edge.assign(map.slot_offsets[n], static_cast<Count>(-1));
+
+  Count next_edge = 0;
+  // Adjacency lists are sorted, so equal neighbours form runs. For a pair
+  // (v, w) with v < w the run lengths in both lists are equal and we assign
+  // matching ids positionally; for a self-loop each edge occupies two
+  // consecutive slots of the same run.
+  for (NodeId v = 0; v < n; ++v) {
+    const auto adj = g.neighbors(v);
+    std::size_t i = 0;
+    while (i < adj.size()) {
+      std::size_t j = i;
+      while (j < adj.size() && adj[j] == adj[i]) ++j;
+      const NodeId w = adj[i];
+      const std::size_t run = j - i;
+      if (w == v) {
+        RRB_ASSERT(run % 2 == 0, "self-loop slots must come in pairs");
+        for (std::size_t r = 0; r < run; r += 2) {
+          const Count id = next_edge++;
+          map.slot_to_edge[map.slot_offsets[v] + i + r] = id;
+          map.slot_to_edge[map.slot_offsets[v] + i + r + 1] = id;
+        }
+      } else if (w > v) {
+        // Locate the matching run of v inside w's list.
+        const auto wadj = g.neighbors(w);
+        const auto first =
+            std::lower_bound(wadj.begin(), wadj.end(), v) - wadj.begin();
+        for (std::size_t r = 0; r < run; ++r) {
+          const Count id = next_edge++;
+          map.slot_to_edge[map.slot_offsets[v] + i + r] = id;
+          map.slot_to_edge[map.slot_offsets[w] + static_cast<Count>(first) +
+                           r] = id;
+        }
+      }
+      i = j;
+    }
+  }
+  map.num_edges = next_edge;
+  RRB_ASSERT(next_edge == g.num_edges(), "edge id count mismatch");
+  for (const Count id : map.slot_to_edge)
+    RRB_ASSERT(id != static_cast<Count>(-1), "unassigned slot");
+  return map;
+}
+
+}  // namespace rrb

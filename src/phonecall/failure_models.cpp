@@ -1,0 +1,61 @@
+#include "rrb/phonecall/failure_models.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "rrb/common/check.hpp"
+
+namespace rrb {
+
+FailurePredicate faulty_nodes(std::vector<NodeId> faulty) {
+  auto set = std::make_shared<std::unordered_set<NodeId>>(faulty.begin(),
+                                                          faulty.end());
+  return [set](Round /*t*/, NodeId caller, NodeId callee) {
+    return set->count(caller) != 0 || set->count(callee) != 0;
+  };
+}
+
+FailurePredicate bursty_outage(Round period, Round burst_len) {
+  RRB_REQUIRE(period >= 1, "bursty_outage: period >= 1");
+  RRB_REQUIRE(burst_len >= 0 && burst_len <= period,
+              "bursty_outage: 0 <= burst_len <= period");
+  return [period, burst_len](Round t, NodeId /*caller*/, NodeId /*callee*/) {
+    return (t - 1) % period < burst_len;
+  };
+}
+
+FailurePredicate blocked_pairs(
+    std::vector<std::pair<NodeId, NodeId>> pairs) {
+  auto keys = std::make_shared<std::unordered_set<std::uint64_t>>();
+  for (const auto& [a, b] : pairs) {
+    const NodeId lo = std::min(a, b);
+    const NodeId hi = std::max(a, b);
+    keys->insert((static_cast<std::uint64_t>(lo) << 32) | hi);
+  }
+  return [keys](Round /*t*/, NodeId caller, NodeId callee) {
+    const NodeId lo = std::min(caller, callee);
+    const NodeId hi = std::max(caller, callee);
+    return keys->count((static_cast<std::uint64_t>(lo) << 32) | hi) != 0;
+  };
+}
+
+FailurePredicate random_failures(double probability, Rng& rng) {
+  RRB_REQUIRE(probability >= 0.0 && probability <= 1.0,
+              "random_failures: probability out of [0,1]");
+  return [probability, &rng](Round, NodeId, NodeId) {
+    return rng.bernoulli(probability);
+  };
+}
+
+FailurePredicate any_of(std::vector<FailurePredicate> models) {
+  auto shared =
+      std::make_shared<std::vector<FailurePredicate>>(std::move(models));
+  return [shared](Round t, NodeId caller, NodeId callee) {
+    return std::any_of(shared->begin(), shared->end(),
+                       [&](const FailurePredicate& m) {
+                         return m && m(t, caller, callee);
+                       });
+  };
+}
+
+}  // namespace rrb

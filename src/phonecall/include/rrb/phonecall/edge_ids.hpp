@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "rrb/common/types.hpp"
+#include "rrb/graph/graph.hpp"
+
+/// \file edge_ids.hpp
+/// Assignment of undirected edge identifiers to adjacency slots, used by
+/// the engine's edge-usage tracker (Lemma 4 reproduces |U(t)|, the number
+/// of nodes incident to at least one edge never yet used for a
+/// transmission).
+
+namespace rrb {
+
+/// Maps every adjacency slot of `g` to an undirected edge id in
+/// [0, g.num_edges()). Parallel edges get distinct ids; the two slots of a
+/// self-loop share one id. slot index = offset(v) + i for neighbour i of v.
+struct EdgeIdMap {
+  std::vector<Count> slot_offsets;  ///< size n+1, mirrors CSR offsets
+  std::vector<Count> slot_to_edge;  ///< size = total slots
+  Count num_edges = 0;
+
+  [[nodiscard]] Count edge_of(NodeId v, NodeId i) const {
+    return slot_to_edge[slot_offsets[v] + i];
+  }
+};
+
+/// Build the slot -> edge id map for a graph.
+[[nodiscard]] EdgeIdMap build_edge_id_map(const Graph& g);
+
+}  // namespace rrb

@@ -1,0 +1,418 @@
+#pragma once
+
+#include <concepts>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "rrb/common/check.hpp"
+#include "rrb/common/types.hpp"
+#include "rrb/graph/graph.hpp"
+#include "rrb/phonecall/edge_ids.hpp"
+#include "rrb/phonecall/failure_models.hpp"
+#include "rrb/phonecall/protocol.hpp"
+#include "rrb/phonecall/result.hpp"
+#include "rrb/rng/rng.hpp"
+
+/// \file engine.hpp
+/// The synchronous phone call engine.
+///
+/// Per round, every alive node opens channels to `num_choices` distinct
+/// incident edges chosen uniformly at random (num_choices = 1 is the
+/// classical model of Karp et al.; 4 is the paper's modification). Channels
+/// are bidirectional: a transmission over channel (v -> w) is a *push* when
+/// initiated by the caller v and a *pull* when initiated by the callee w.
+/// Messages delivered in round t only become forwardable in round t + 1,
+/// matching the paper's "received for the first time in the previous step"
+/// phrasing.
+///
+/// The engine is a template over a Topology so that the same round loop
+/// drives static graphs (Graph) and the dynamic churn overlay (p2p).
+
+namespace rrb {
+
+/// Requirements on a topology the engine can run on.
+template <typename T>
+concept Topology = requires(const T& t, NodeId v, NodeId i) {
+  { t.num_slots() } -> std::convertible_to<NodeId>;
+  { t.num_alive() } -> std::convertible_to<Count>;
+  { t.is_alive(v) } -> std::convertible_to<bool>;
+  { t.degree(v) } -> std::convertible_to<NodeId>;
+  { t.neighbor(v, i) } -> std::convertible_to<NodeId>;
+};
+
+/// Adapter presenting an immutable Graph as a Topology.
+class GraphTopology {
+ public:
+  explicit GraphTopology(const Graph& g) : g_(&g) {}
+  [[nodiscard]] NodeId num_slots() const { return g_->num_nodes(); }
+  [[nodiscard]] Count num_alive() const { return g_->num_nodes(); }
+  [[nodiscard]] bool is_alive(NodeId) const { return true; }
+  [[nodiscard]] NodeId degree(NodeId v) const { return g_->degree(v); }
+  [[nodiscard]] NodeId neighbor(NodeId v, NodeId i) const {
+    return g_->neighbor(v, i);
+  }
+  [[nodiscard]] const Graph& graph() const { return *g_; }
+
+ private:
+  const Graph* g_;
+};
+
+/// How channels are established each round.
+struct ChannelConfig {
+  /// Distinct incident edges each node calls per round. 1 = classical
+  /// random phone call model; 4 = the paper's modification.
+  int num_choices = 1;
+
+  /// If > 0, avoid partners called during the last `memory` rounds (the
+  /// sequentialised model of §1.2 footnote 2 uses num_choices = 1,
+  /// memory = 3). Best-effort: if a node's degree leaves no admissible
+  /// partner, the constraint is relaxed for that call.
+  int memory = 0;
+
+  /// Probability that an opened channel fails (no communication in either
+  /// direction). Models the paper's "limited communication failures".
+  double failure_prob = 0.0;
+
+  /// Quasirandom model (Doerr–Friedrich–Sauerwald): each node walks its
+  /// neighbour list cyclically from a random start, calling the next
+  /// num_choices entries per round, instead of sampling.
+  bool quasirandom = false;
+};
+
+/// Observer invoked at the end of every round with the informed_at array
+/// (kNever = still uninformed). Used by the experiment harness to measure
+/// set sizes (|I+(t)|, h_i(t), U(t), ...) without touching engine internals.
+using RoundObserver =
+    std::function<void(Round t, std::span<const Round> informed_at)>;
+
+/// Hook invoked between rounds; may mutate a dynamic topology (churn).
+using RoundHook = std::function<void(Round t)>;
+
+template <Topology TopologyT>
+class PhoneCallEngine {
+ public:
+  PhoneCallEngine(TopologyT& topo, ChannelConfig config, Rng& rng)
+      : topo_(&topo), config_(config), rng_(&rng) {
+    RRB_REQUIRE(config_.num_choices >= 1, "need at least one choice");
+    RRB_REQUIRE(config_.num_choices <= 64, "choices capped at 64");
+    RRB_REQUIRE(config_.memory >= 0, "memory must be >= 0");
+    RRB_REQUIRE(config_.failure_prob >= 0.0 && config_.failure_prob <= 1.0,
+                "failure_prob out of [0,1]");
+    RRB_REQUIRE(!(config_.quasirandom && config_.memory > 0),
+                "quasirandom and memory are mutually exclusive");
+  }
+
+  /// Observe informed sets after each round.
+  void set_round_observer(RoundObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Mutate the topology between rounds (churn). Newly joined nodes start
+  /// uninformed; dead nodes stop participating and no longer count towards
+  /// completion.
+  void set_round_hook(RoundHook hook) { hook_ = std::move(hook); }
+
+  /// Install a structured failure model (see failure_models.hpp). A channel
+  /// fails if either this predicate or ChannelConfig::failure_prob fires.
+  void set_failure_model(FailurePredicate model) {
+    failure_model_ = std::move(model);
+  }
+
+  /// Track which undirected edges have carried at least one transmission
+  /// (for the Lemma 4 experiment). Graph topologies only; the map must
+  /// match the engine's topology.
+  void enable_edge_usage_tracking(const EdgeIdMap& map) {
+    edge_ids_ = &map;
+    edge_used_.assign(map.num_edges, 0);
+  }
+
+  /// Edge usage bitmap (valid after run() when tracking is enabled).
+  [[nodiscard]] const std::vector<std::uint8_t>& edge_used() const {
+    return edge_used_;
+  }
+
+  /// Informed rounds per node after run() (kNever = never informed).
+  [[nodiscard]] std::span<const Round> informed_at() const {
+    return informed_at_;
+  }
+
+  /// Forget a node's informed status. Needed by churn drivers when a slot
+  /// freed by a departed peer is reused by a fresh joiner — the newcomer
+  /// must not inherit its predecessor's copy of the message. Only call from
+  /// a round hook.
+  void reset_node(NodeId v) {
+    RRB_REQUIRE(v < informed_at_.size(), "reset_node: out of range");
+    informed_at_[v] = kNever;
+  }
+
+  /// Run `protocol` from `source` until the protocol reports finished, all
+  /// alive nodes are informed (if limits.stop_when_all_informed), or
+  /// limits.max_rounds elapse.
+  RunResult run(BroadcastProtocol& protocol, NodeId source,
+                const RunLimits& limits) {
+    return run(protocol, std::span<const NodeId>(&source, 1), limits);
+  }
+
+  RunResult run(BroadcastProtocol& protocol, std::span<const NodeId> sources,
+                const RunLimits& limits);
+
+ private:
+  /// Choose the partners node v calls this round; writes neighbour *edge
+  /// indices* into choice_buf_ and returns how many were chosen.
+  std::size_t choose_edges(NodeId v, std::span<NodeId> out);
+
+  /// Record v's partners for the memory constraint.
+  void remember_partners(NodeId v, std::span<const NodeId> partners);
+
+  [[nodiscard]] bool recently_called(NodeId v, NodeId partner) const;
+
+  TopologyT* topo_;
+  ChannelConfig config_;
+  Rng* rng_;
+  RoundObserver observer_;
+  RoundHook hook_;
+  FailurePredicate failure_model_;
+
+  std::vector<Round> informed_at_;
+  std::vector<Action> action_;  // kNone for uninformed/silent nodes
+
+  // Memory rings: memory_[v * memory + j] = partner called `j+1` rounds ago
+  // (unordered ring). kNoNode = empty.
+  std::vector<NodeId> memory_;
+
+  // Quasirandom list cursors.
+  std::vector<NodeId> cursor_;
+
+  const EdgeIdMap* edge_ids_ = nullptr;
+  std::vector<std::uint8_t> edge_used_;
+};
+
+template <Topology TopologyT>
+std::size_t PhoneCallEngine<TopologyT>::choose_edges(NodeId v,
+                                                     std::span<NodeId> out) {
+  const NodeId d = topo_->degree(v);
+  if (d == 0) return 0;
+  const auto k = static_cast<std::size_t>(config_.num_choices);
+  const std::size_t take = std::min<std::size_t>(k, d);
+
+  if (config_.quasirandom) {
+    // Walk the neighbour list cyclically from the node's cursor.
+    if (cursor_[v] == kNoNode)
+      cursor_[v] = static_cast<NodeId>(rng_->uniform_u64(d));
+    for (std::size_t i = 0; i < take; ++i)
+      out[i] = static_cast<NodeId>((cursor_[v] + i) % d);
+    cursor_[v] = static_cast<NodeId>((cursor_[v] + take) % d);
+    return take;
+  }
+
+  if (config_.memory == 0 || d <= take) {
+    return rng_->sample_distinct_small(d, take, out);
+  }
+
+  // Memory constraint: rejection-sample distinct edge indices whose
+  // endpoints were not called in the last `memory` rounds. Best effort —
+  // after kMaxTries we accept whatever distinct indices we drew.
+  constexpr int kMaxTries = 48;
+  std::size_t filled = 0;
+  int tries = 0;
+  while (filled < take && tries < kMaxTries) {
+    ++tries;
+    const auto idx = static_cast<NodeId>(rng_->uniform_u64(d));
+    bool duplicate = false;
+    for (std::size_t j = 0; j < filled; ++j)
+      if (out[j] == idx) duplicate = true;
+    if (duplicate) continue;
+    if (recently_called(v, topo_->neighbor(v, idx))) continue;
+    out[filled++] = idx;
+  }
+  while (filled < take) {
+    const auto idx = static_cast<NodeId>(rng_->uniform_u64(d));
+    bool duplicate = false;
+    for (std::size_t j = 0; j < filled; ++j)
+      if (out[j] == idx) duplicate = true;
+    if (!duplicate) out[filled++] = idx;
+  }
+  return take;
+}
+
+template <Topology TopologyT>
+bool PhoneCallEngine<TopologyT>::recently_called(NodeId v,
+                                                 NodeId partner) const {
+  const auto m = static_cast<std::size_t>(config_.memory);
+  const std::size_t base = static_cast<std::size_t>(v) * m;
+  for (std::size_t j = 0; j < m; ++j)
+    if (memory_[base + j] == partner) return true;
+  return false;
+}
+
+template <Topology TopologyT>
+void PhoneCallEngine<TopologyT>::remember_partners(
+    NodeId v, std::span<const NodeId> partners) {
+  const auto m = static_cast<std::size_t>(config_.memory);
+  if (m == 0) return;
+  const std::size_t base = static_cast<std::size_t>(v) * m;
+  // Shift the ring (memory is tiny — 3 in the paper's variant).
+  for (std::size_t j = m; j-- > partners.size();)
+    memory_[base + j] = memory_[base + j - partners.size()];
+  for (std::size_t j = 0; j < std::min(partners.size(), m); ++j)
+    memory_[base + j] = partners[j];
+}
+
+template <Topology TopologyT>
+RunResult PhoneCallEngine<TopologyT>::run(BroadcastProtocol& protocol,
+                                          std::span<const NodeId> sources,
+                                          const RunLimits& limits) {
+  const NodeId n = topo_->num_slots();
+  RRB_REQUIRE(n >= 1, "empty topology");
+  RRB_REQUIRE(!sources.empty(), "need at least one source");
+
+  informed_at_.assign(n, kNever);
+  action_.assign(n, Action::kNone);
+  if (config_.memory > 0)
+    memory_.assign(static_cast<std::size_t>(n) * config_.memory, kNoNode);
+  if (config_.quasirandom) cursor_.assign(n, kNoNode);
+  if (edge_ids_ != nullptr) {
+    RRB_REQUIRE(edge_ids_->slot_offsets.size() == n + 1U,
+                "edge id map does not match topology");
+    edge_used_.assign(edge_ids_->num_edges, 0);
+  }
+
+  protocol.reset(n);
+  Count informed = 0;
+  for (const NodeId s : sources) {
+    RRB_REQUIRE(s < n, "source out of range");
+    RRB_REQUIRE(topo_->is_alive(s), "source must be alive");
+    if (informed_at_[s] == kNever) {
+      informed_at_[s] = 0;  // message created at time step 0
+      ++informed;
+    }
+  }
+
+  RunResult result;
+  result.n = n;
+
+  std::vector<NodeId> edge_choice(static_cast<std::size_t>(config_.num_choices));
+  std::vector<NodeId> partners(static_cast<std::size_t>(config_.num_choices));
+  std::vector<NodeId> newly;
+
+  Round t = 0;
+  while (t < limits.max_rounds) {
+    ++t;
+    protocol.on_round_start(t);
+    RoundStats round{};
+    round.t = t;
+
+    // Phase A: compute actions for nodes informed before this round.
+    for (NodeId v = 0; v < n; ++v) {
+      if (!topo_->is_alive(v) || informed_at_[v] == kNever) {
+        action_[v] = Action::kNone;
+        continue;
+      }
+      NodeLocalState state;
+      state.informed_at = informed_at_[v];
+      state.is_source = informed_at_[v] == 0;
+      action_[v] = protocol.action(v, state, t);
+      if (action_[v] != Action::kNone) ++round.transmitting_nodes;
+    }
+
+    // Phase B: every alive node opens channels; transmissions happen on
+    // the channel according to the caller's push action and the callee's
+    // pull action.
+    newly.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      if (!topo_->is_alive(v)) continue;
+      const std::size_t k =
+          choose_edges(v, std::span<NodeId>(edge_choice.data(),
+                                            edge_choice.size()));
+      for (std::size_t i = 0; i < k; ++i) partners[i] = kNoNode;
+      for (std::size_t i = 0; i < k; ++i) {
+        const NodeId edge_idx = edge_choice[i];
+        const NodeId w = topo_->neighbor(v, edge_idx);
+        partners[i] = w;
+        ++round.channels_opened;
+        if ((config_.failure_prob > 0.0 &&
+             rng_->bernoulli(config_.failure_prob)) ||
+            (failure_model_ && failure_model_(t, v, w))) {
+          ++round.channels_failed;
+          continue;
+        }
+        if (!topo_->is_alive(w)) {
+          ++round.channels_failed;  // stale link during churn
+          continue;
+        }
+        const bool push_here = does_push(action_[v]);
+        const bool pull_here = does_pull(action_[w]);
+        if (!push_here && !pull_here) continue;
+
+        if (edge_ids_ != nullptr)
+          edge_used_[edge_ids_->edge_of(v, edge_idx)] = 1;
+
+        auto deliver = [&](NodeId to, NodeId from, bool is_push) {
+          const MessageMeta meta = protocol.stamp(from, t);
+          if (is_push)
+            ++round.push_tx;
+          else
+            ++round.pull_tx;
+          const bool first = informed_at_[to] == kNever;
+          protocol.on_receive(to, meta, t, first);
+          if (first) {
+            informed_at_[to] = t;
+            newly.push_back(to);
+          }
+        };
+        if (push_here) deliver(w, v, /*is_push=*/true);
+        if (pull_here) deliver(v, w, /*is_push=*/false);
+      }
+      if (config_.memory > 0)
+        remember_partners(v, std::span<const NodeId>(partners.data(), k));
+    }
+
+    informed += newly.size();
+    round.newly_informed = newly.size();
+    round.informed = informed;
+
+    result.push_tx += round.push_tx;
+    result.pull_tx += round.pull_tx;
+    result.channels_opened += round.channels_opened;
+    result.channels_failed += round.channels_failed;
+    if (limits.record_rounds) result.per_round.push_back(round);
+
+    if (observer_)
+      observer_(t, std::span<const Round>(informed_at_.data(), n));
+
+    const Count alive = topo_->num_alive();
+    // Completion: every alive node informed. (During churn, `informed`
+    // counts informed-and-alive lazily; recompute only when plausible.)
+    Count informed_alive = informed;
+    if (hook_) {
+      informed_alive = 0;
+      for (NodeId v = 0; v < n; ++v)
+        if (topo_->is_alive(v) && informed_at_[v] != kNever) ++informed_alive;
+    }
+    if (result.completion_round == kNever && informed_alive >= alive)
+      result.completion_round = t;
+
+    const bool proto_done = protocol.finished(t, informed_alive, alive);
+    const bool oracle_done =
+        limits.stop_when_all_informed && informed_alive >= alive;
+    if (proto_done || oracle_done) break;
+
+    if (hook_) {
+      hook_(t);
+      const NodeId new_n = topo_->num_slots();
+      RRB_REQUIRE(new_n == n, "topology slots may not change during a run");
+    }
+  }
+
+  result.rounds = t;
+  result.alive_at_end = topo_->num_alive();
+  Count informed_alive = 0;
+  for (NodeId v = 0; v < n; ++v)
+    if (topo_->is_alive(v) && informed_at_[v] != kNever) ++informed_alive;
+  result.final_informed = informed_alive;
+  result.all_informed = informed_alive >= result.alive_at_end;
+  return result;
+}
+
+}  // namespace rrb

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "rrb/common/types.hpp"
+#include "rrb/rng/rng.hpp"
+
+/// \file failure_models.hpp
+/// Structured communication-failure models beyond the engine's built-in
+/// i.i.d. channel failure probability. The paper (§1) claims the algorithm
+/// "efficiently handles limited communication failures"; Karp et al.
+/// additionally analyse non-uniform connection behaviour. These canned
+/// models plug into PhoneCallEngine::set_failure_model and compose with
+/// ChannelConfig::failure_prob (a channel fails if either mechanism says
+/// so).
+///
+/// The predicate sees the environment's view (round, caller, callee) — the
+/// *protocol* remains address-oblivious; failures are part of the world,
+/// not of the algorithm.
+
+namespace rrb {
+
+/// Returns true iff the channel (caller -> callee) fails in round t.
+using FailurePredicate =
+    std::function<bool(Round t, NodeId caller, NodeId callee)>;
+
+/// A fixed set of crash-faulty nodes: every channel touching one fails
+/// (the node neither initiates nor answers). Models fail-stop peers that
+/// are still listed in their neighbours' tables.
+[[nodiscard]] FailurePredicate faulty_nodes(std::vector<NodeId> faulty);
+
+/// Periodic network-wide outages: all channels fail during `burst_len`
+/// consecutive rounds out of every `period` (rounds 1-based; the burst
+/// occupies the first burst_len rounds of each period).
+[[nodiscard]] FailurePredicate bursty_outage(Round period, Round burst_len);
+
+/// An adversarially chosen set of blocked node pairs (undirected): channels
+/// between them always fail. Models persistent link faults / firewalls.
+[[nodiscard]] FailurePredicate blocked_pairs(
+    std::vector<std::pair<NodeId, NodeId>> pairs);
+
+/// Per-channel i.i.d. failure driven by a dedicated Rng — equivalent to
+/// ChannelConfig::failure_prob but owned by the caller (useful for
+/// composing with the models above via any_of).
+[[nodiscard]] FailurePredicate random_failures(double probability, Rng& rng);
+
+/// Compose: fails if any constituent model fails.
+[[nodiscard]] FailurePredicate any_of(std::vector<FailurePredicate> models);
+
+}  // namespace rrb

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+
+#include "rrb/common/types.hpp"
+
+/// \file protocol.hpp
+/// The address-oblivious protocol interface of the random phone call model.
+///
+/// A protocol decides, per informed node and per round, whether to transmit
+/// over outgoing channels (push), incoming channels (pull), both, or stay
+/// quiet. Address-obliviousness (§1.2) is enforced *structurally*: the
+/// engine exposes no partner identities to any callback, only the node's
+/// own local state (when it was informed, the current round, and whatever
+/// per-node counters the protocol maintains from received message
+/// metadata). The paper's "strictly oblivious" model — decisions depend
+/// only on the time the node received the message — corresponds to
+/// implementing action() as a pure function of (informed_at, t).
+
+namespace rrb {
+
+/// What an informed node does with its channels this round.
+enum class Action : std::uint8_t {
+  kNone = 0,      ///< open channels but stay silent
+  kPush = 1,      ///< transmit over all outgoing channels
+  kPull = 2,      ///< transmit over all incoming channels
+  kPushPull = 3,  ///< both directions
+};
+
+[[nodiscard]] constexpr bool does_push(Action a) {
+  return a == Action::kPush || a == Action::kPushPull;
+}
+[[nodiscard]] constexpr bool does_pull(Action a) {
+  return a == Action::kPull || a == Action::kPushPull;
+}
+
+/// Metadata attached to each transmitted copy of the message. `hops` mirrors
+/// the message age bookkeeping of Karp et al.; `counter` carries the
+/// median-counter state of that termination mechanism. Both are visible to
+/// the receiving node only — never the sender identity.
+struct MessageMeta {
+  std::int32_t hops = 0;
+  std::int32_t counter = 0;
+};
+
+/// Local, address-oblivious view of one node.
+struct NodeLocalState {
+  Round informed_at = kNever;  ///< round the node first received M (0 = source)
+  bool is_source = false;
+};
+
+/// Base class for broadcast protocols driven by PhoneCallEngine.
+///
+/// Lifecycle per run: reset(n) once, then for each round t = 1, 2, ...:
+/// on_round_start(t); action(v, ...) for every informed alive node;
+/// stamp(v, t) whenever v transmits; on_receive(w, ...) for every delivered
+/// copy; finished(...) once at the end of the round.
+class BroadcastProtocol {
+ public:
+  virtual ~BroadcastProtocol();
+
+  BroadcastProtocol() = default;
+  BroadcastProtocol(const BroadcastProtocol&) = delete;
+  BroadcastProtocol& operator=(const BroadcastProtocol&) = delete;
+
+  /// Prepare per-node state for a run over n node slots.
+  virtual void reset(NodeId n);
+
+  /// Called once at the beginning of each round.
+  virtual void on_round_start(Round t);
+
+  /// Decide what node v does this round. Called only for informed, alive
+  /// nodes. Must not depend on anything but v's local state.
+  [[nodiscard]] virtual Action action(NodeId v, const NodeLocalState& state,
+                                      Round t) = 0;
+
+  /// Metadata the sender attaches to each copy it transmits this round.
+  [[nodiscard]] virtual MessageMeta stamp(NodeId v, Round t);
+
+  /// Called for every copy delivered to node v (duplicates included).
+  /// first_time is true for the first copy an uninformed node receives.
+  virtual void on_receive(NodeId v, const MessageMeta& meta, Round t,
+                          bool first_time);
+
+  /// Whether the protocol's own termination condition has triggered. The
+  /// engine stops after the first round for which this returns true.
+  [[nodiscard]] virtual bool finished(Round t, Count informed,
+                                      Count alive) const = 0;
+
+  /// Human-readable protocol name for reports.
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+}  // namespace rrb

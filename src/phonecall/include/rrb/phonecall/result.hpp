@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "rrb/common/types.hpp"
+
+/// \file result.hpp
+/// Run statistics reported by the phone call engine. Transmission counting
+/// follows the paper's convention exactly: every copy of the message sent
+/// over a channel is one transmission; opening channels is free (their cost
+/// amortises over frequent broadcasts, §1), but we count them anyway for
+/// diagnostics.
+
+namespace rrb {
+
+/// Per-round counters.
+struct RoundStats {
+  Round t = 0;
+  Count informed = 0;         ///< |I(t)| after this round
+  Count newly_informed = 0;   ///< |I+(t)|
+  Count push_tx = 0;          ///< copies sent caller -> callee this round
+  Count pull_tx = 0;          ///< copies sent callee -> caller this round
+  Count channels_opened = 0;
+  Count channels_failed = 0;
+  Count transmitting_nodes = 0;  ///< nodes whose action was not kNone
+};
+
+/// Whole-run summary.
+struct RunResult {
+  NodeId n = 0;                 ///< node slots
+  Count alive_at_end = 0;       ///< alive nodes when the run stopped
+  bool all_informed = false;    ///< every alive node informed at the end
+  Round rounds = 0;             ///< rounds executed
+  Round completion_round = kNever;  ///< first round after which all alive
+                                    ///< nodes were informed
+  Count push_tx = 0;
+  Count pull_tx = 0;
+  Count channels_opened = 0;
+  Count channels_failed = 0;
+  Count final_informed = 0;
+  std::vector<RoundStats> per_round;  ///< filled iff limits.record_rounds
+
+  [[nodiscard]] Count total_tx() const { return push_tx + pull_tx; }
+
+  /// Transmissions per node slot — the paper's headline metric
+  /// (O(log log n) per node for the four-choice algorithm vs Theta(log n)
+  /// for push). On static graphs slots == nodes; on a churned overlay
+  /// divide total_tx() by alive_at_end instead.
+  [[nodiscard]] double tx_per_node() const {
+    return n == 0 ? 0.0
+                  : static_cast<double>(total_tx()) / static_cast<double>(n);
+  }
+};
+
+/// Engine stopping rules.
+struct RunLimits {
+  Round max_rounds = 1 << 20;          ///< hard safety cap
+  bool stop_when_all_informed = false; ///< oracle termination (baselines)
+  bool record_rounds = false;          ///< keep per-round stats
+};
+
+}  // namespace rrb

@@ -1,0 +1,16 @@
+#include "rrb/phonecall/protocol.hpp"
+
+namespace rrb {
+
+BroadcastProtocol::~BroadcastProtocol() = default;
+
+void BroadcastProtocol::reset(NodeId /*n*/) {}
+
+void BroadcastProtocol::on_round_start(Round /*t*/) {}
+
+MessageMeta BroadcastProtocol::stamp(NodeId /*v*/, Round /*t*/) { return {}; }
+
+void BroadcastProtocol::on_receive(NodeId /*v*/, const MessageMeta& /*meta*/,
+                                   Round /*t*/, bool /*first_time*/) {}
+
+}  // namespace rrb

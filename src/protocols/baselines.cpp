@@ -1,0 +1,59 @@
+#include "rrb/protocols/baselines.hpp"
+
+#include <cmath>
+
+#include "rrb/common/check.hpp"
+#include "rrb/common/math.hpp"
+
+namespace rrb {
+
+Action PushProtocol::action(NodeId /*v*/, const NodeLocalState& /*state*/,
+                            Round /*t*/) {
+  return Action::kPush;
+}
+
+bool PushProtocol::finished(Round /*t*/, Count informed, Count alive) const {
+  return informed >= alive;
+}
+
+Action PullProtocol::action(NodeId /*v*/, const NodeLocalState& /*state*/,
+                            Round /*t*/) {
+  return Action::kPull;
+}
+
+bool PullProtocol::finished(Round /*t*/, Count informed, Count alive) const {
+  return informed >= alive;
+}
+
+Action PushPullProtocol::action(NodeId /*v*/, const NodeLocalState& /*state*/,
+                                Round /*t*/) {
+  return Action::kPushPull;
+}
+
+bool PushPullProtocol::finished(Round /*t*/, Count informed,
+                                Count alive) const {
+  return informed >= alive;
+}
+
+FixedHorizonPush::FixedHorizonPush(Round horizon) : horizon_(horizon) {
+  RRB_REQUIRE(horizon >= 1, "horizon must be >= 1");
+}
+
+Action FixedHorizonPush::action(NodeId /*v*/, const NodeLocalState& /*state*/,
+                                Round t) {
+  return t <= horizon_ ? Action::kPush : Action::kNone;
+}
+
+bool FixedHorizonPush::finished(Round t, Count /*informed*/,
+                                Count /*alive*/) const {
+  return t >= horizon_;
+}
+
+Round make_push_horizon(std::uint64_t n_estimate, int degree, double safety) {
+  RRB_REQUIRE(n_estimate >= 2, "n_estimate must be >= 2");
+  RRB_REQUIRE(safety > 0.0, "safety must be positive");
+  return static_cast<Round>(
+      std::ceil(safety * push_constant_cd(degree) * log_n(n_estimate)));
+}
+
+}  // namespace rrb

@@ -1,0 +1,74 @@
+#pragma once
+
+#include "rrb/phonecall/protocol.hpp"
+
+/// \file baselines.hpp
+/// The classical phone call protocols the paper compares against:
+/// push (Frieze–Grimmett, Pittel, Feige et al.), pull (Demers et al.), and
+/// the combined push&pull (Karp et al. without the counter-based
+/// termination — these baselines terminate by oracle, i.e. the simulation
+/// stops when every node is informed, which only *under*-counts their
+/// transmissions and therefore makes the comparison conservative).
+
+namespace rrb {
+
+/// Informed nodes push over every outgoing channel, every round.
+class PushProtocol final : public BroadcastProtocol {
+ public:
+  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state,
+                              Round t) override;
+  [[nodiscard]] bool finished(Round t, Count informed,
+                              Count alive) const override;
+  [[nodiscard]] const char* name() const override { return "push"; }
+};
+
+/// Informed nodes answer every incoming channel, every round. Uninformed
+/// nodes still open channels (that is what makes pull work).
+class PullProtocol final : public BroadcastProtocol {
+ public:
+  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state,
+                              Round t) override;
+  [[nodiscard]] bool finished(Round t, Count informed,
+                              Count alive) const override;
+  [[nodiscard]] const char* name() const override { return "pull"; }
+};
+
+/// Informed nodes transmit in both directions, every round.
+class PushPullProtocol final : public BroadcastProtocol {
+ public:
+  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state,
+                              Round t) override;
+  [[nodiscard]] bool finished(Round t, Count informed,
+                              Count alive) const override;
+  [[nodiscard]] const char* name() const override { return "push-pull"; }
+};
+
+/// The *implementable* (oracle-free) Monte Carlo push: informed nodes push
+/// until a fixed global horizon, then everyone stops. This is the standard
+/// self-terminating form of the push protocol the Theorem 1 proof reasons
+/// about — its cost is Θ(n log n) because every node keeps pushing for the
+/// Θ(log n) tail of the horizon. `make_push_horizon` returns the
+/// empirically safe default 2·C_d·ln n̂ (twice the Fountoulakis–Panagiotou
+/// completion time).
+class FixedHorizonPush final : public BroadcastProtocol {
+ public:
+  explicit FixedHorizonPush(Round horizon);
+
+  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state,
+                              Round t) override;
+  [[nodiscard]] bool finished(Round t, Count informed,
+                              Count alive) const override;
+  [[nodiscard]] const char* name() const override {
+    return "push/fixed-horizon";
+  }
+  [[nodiscard]] Round horizon() const { return horizon_; }
+
+ private:
+  Round horizon_;
+};
+
+/// Safe push horizon for G(n,d): ceil(safety · C_d · ln n̂).
+[[nodiscard]] Round make_push_horizon(std::uint64_t n_estimate, int degree,
+                                      double safety = 2.0);
+
+}  // namespace rrb

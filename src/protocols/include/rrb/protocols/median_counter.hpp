@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rrb/phonecall/protocol.hpp"
+
+/// \file median_counter.hpp
+/// The termination mechanism of Karp, Schindelhauer, Shenker & Vöcking
+/// (FOCS'00), which the paper cites as the O(n log log n)-transmission
+/// push&pull scheme for *complete* graphs. Reproduced here as the E16
+/// baseline and as a general-purpose counter-based terminator.
+///
+/// Rules (age/median-counter scheme, simplified to its standard practical
+/// form):
+///  - an uninformed node that first receives the message enters state B
+///    with counter ctr = 1;
+///  - in state B a node push&pulls every round; at the start of each round
+///    it compares its counter with the counters received in the previous
+///    round: if the median of received counters is >= its own, it
+///    increments ctr;
+///  - when ctr reaches ctr_max (Θ(log log n)) the node enters state C and
+///    push&pulls for final_rounds more rounds, then goes quiet (state D);
+///  - a hard deadline of max_age rounds after a node's first receipt
+///    bounds the running time (the Monte Carlo guarantee).
+
+namespace rrb {
+
+struct MedianCounterConfig {
+  std::uint64_t n_estimate = 0;  ///< n̂ used to size the counters
+  double ctr_multiplier = 1.0;   ///< ctr_max = ceil(mult*log2 log2 n̂) + 2
+  double final_multiplier = 1.0; ///< final_rounds = ceil(mult*log2 log2 n̂)+1
+  double max_age_multiplier = 6.0;  ///< deadline = ceil(mult * log2 n̂)
+};
+
+class MedianCounterProtocol final : public BroadcastProtocol {
+ public:
+  explicit MedianCounterProtocol(const MedianCounterConfig& cfg);
+
+  void reset(NodeId n) override;
+  void on_round_start(Round t) override;
+  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state,
+                              Round t) override;
+  [[nodiscard]] MessageMeta stamp(NodeId v, Round t) override;
+  void on_receive(NodeId v, const MessageMeta& meta, Round t,
+                  bool first_time) override;
+  [[nodiscard]] bool finished(Round t, Count informed,
+                              Count alive) const override;
+  [[nodiscard]] const char* name() const override { return "median-counter"; }
+
+  [[nodiscard]] int ctr_max() const { return ctr_max_; }
+  [[nodiscard]] int final_rounds() const { return final_rounds_; }
+  [[nodiscard]] int max_age() const { return max_age_; }
+
+ private:
+  // Per node: counter value, round state C was entered (kNever while in B),
+  // and the counters received during the current round (bounded buffer —
+  // the median over the first kMaxSamples received is statistically
+  // indistinguishable from the full median for the fan-ins we simulate).
+  static constexpr std::size_t kMaxSamples = 32;
+
+  int ctr_max_ = 0;
+  int final_rounds_ = 0;
+  int max_age_ = 0;
+
+  std::vector<std::int32_t> ctr_;
+  std::vector<Round> c_entered_;
+  std::vector<std::uint8_t> sample_count_;
+  std::vector<std::int32_t> samples_;  // n * kMaxSamples, flat
+  std::vector<NodeId> touched_;        // nodes with samples this round
+  Count active_this_round_ = 0;        // nodes whose action was not kNone
+};
+
+}  // namespace rrb

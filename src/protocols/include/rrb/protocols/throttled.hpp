@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "rrb/phonecall/protocol.hpp"
+
+/// \file throttled.hpp
+/// Age-throttled push&pull in the *classical* (single-choice) phone call
+/// model, in the spirit of Elsässer (SPAA'06, the paper's reference [11]):
+/// a node transmits only while its copy of the message is younger than
+///   tau = ceil(c1 · log n̂ / log d) + ceil(c2 · log log n̂)
+/// rounds. Total transmissions are therefore at most ~ 2 n tau =
+/// O(n (log n / log d + log log n)) — the upper-bound counterpart of the
+/// Theorem 1 lower bound Ω(n log n / log d), reproduced in bench E3.
+///
+/// Strictly oblivious: the action depends only on (informed_at, t).
+
+namespace rrb {
+
+struct ThrottledConfig {
+  std::uint64_t n_estimate = 0;  ///< n̂ (>= 2)
+  std::uint32_t degree = 0;      ///< d, known to all nodes (>= 2)
+  double c1 = 2.0;               ///< multiplier on log n / log d
+  double c2 = 2.0;               ///< multiplier on log log n
+};
+
+class ThrottledPushPull final : public BroadcastProtocol {
+ public:
+  explicit ThrottledPushPull(const ThrottledConfig& cfg);
+
+  void on_round_start(Round t) override;
+  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state,
+                              Round t) override;
+  [[nodiscard]] bool finished(Round t, Count informed,
+                              Count alive) const override;
+  [[nodiscard]] const char* name() const override {
+    return "throttled-push-pull";
+  }
+
+  /// The per-node transmission window in rounds.
+  [[nodiscard]] Round tau() const { return tau_; }
+
+ private:
+  Round tau_ = 0;
+  Count active_this_round_ = 0;
+};
+
+}  // namespace rrb

@@ -1,0 +1,103 @@
+#include "rrb/protocols/median_counter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rrb/common/check.hpp"
+
+namespace rrb {
+
+namespace {
+
+[[nodiscard]] int ceil_of(double x) {
+  return static_cast<int>(std::ceil(x));
+}
+
+}  // namespace
+
+MedianCounterProtocol::MedianCounterProtocol(const MedianCounterConfig& cfg) {
+  RRB_REQUIRE(cfg.n_estimate >= 2, "n_estimate must be >= 2");
+  const double lg_n =
+      std::log2(static_cast<double>(cfg.n_estimate < 4 ? 4 : cfg.n_estimate));
+  const double lglg_n = std::log2(lg_n < 2.0 ? 2.0 : lg_n);
+  ctr_max_ = ceil_of(cfg.ctr_multiplier * lglg_n) + 2;
+  final_rounds_ = ceil_of(cfg.final_multiplier * lglg_n) + 1;
+  max_age_ = ceil_of(cfg.max_age_multiplier * lg_n);
+  RRB_ASSERT(ctr_max_ >= 1 && final_rounds_ >= 1 && max_age_ >= 1,
+             "degenerate median-counter parameters");
+}
+
+void MedianCounterProtocol::reset(NodeId n) {
+  ctr_.assign(n, 0);
+  c_entered_.assign(n, kNever);
+  sample_count_.assign(n, 0);
+  samples_.assign(static_cast<std::size_t>(n) * kMaxSamples, 0);
+  touched_.clear();
+  active_this_round_ = 0;
+}
+
+void MedianCounterProtocol::on_round_start(Round /*t*/) {
+  active_this_round_ = 0;
+  // Apply the median rule using the samples gathered last round, then clear.
+  for (const NodeId v : touched_) {
+    const std::size_t cnt = sample_count_[v];
+    if (cnt == 0 || ctr_[v] == 0) {
+      sample_count_[v] = 0;
+      continue;
+    }
+    auto* first = samples_.data() + static_cast<std::size_t>(v) * kMaxSamples;
+    auto* last = first + cnt;
+    auto* mid = first + cnt / 2;
+    std::nth_element(first, mid, last);
+    if (*mid >= ctr_[v]) ++ctr_[v];
+    sample_count_[v] = 0;
+  }
+  touched_.clear();
+}
+
+Action MedianCounterProtocol::action(NodeId v, const NodeLocalState& state,
+                                     Round t) {
+  // Hard deadline: stop max_age rounds after first receipt.
+  if (t - state.informed_at > max_age_) return Action::kNone;
+  if (c_entered_[v] != kNever) {
+    // State C for final_rounds rounds, then quiet (state D).
+    if (t - c_entered_[v] >= final_rounds_) return Action::kNone;
+    ++active_this_round_;
+    return Action::kPushPull;
+  }
+  if (ctr_[v] >= ctr_max_) c_entered_[v] = t;
+  ++active_this_round_;
+  return Action::kPushPull;  // state B, or first round of C
+}
+
+MessageMeta MedianCounterProtocol::stamp(NodeId v, Round /*t*/) {
+  MessageMeta meta;
+  meta.counter = ctr_[v];
+  return meta;
+}
+
+void MedianCounterProtocol::on_receive(NodeId v, const MessageMeta& meta,
+                                       Round /*t*/, bool first_time) {
+  if (first_time) {
+    ctr_[v] = 1;
+    return;
+  }
+  if (ctr_[v] == 0) return;  // duplicate delivery within the joining round
+  const std::size_t cnt = sample_count_[v];
+  if (cnt < kMaxSamples) {
+    if (cnt == 0) touched_.push_back(v);
+    samples_[static_cast<std::size_t>(v) * kMaxSamples + cnt] = meta.counter;
+    ++sample_count_[v];
+  }
+}
+
+bool MedianCounterProtocol::finished(Round /*t*/, Count informed,
+                                     Count /*alive*/) const {
+  if (informed == 0) return true;
+  // Exact quiescence: no informed node transmitted this round. Uninformed
+  // nodes can only become active through a transmission, so once the active
+  // set is empty the execution is over for good.
+  return active_this_round_ == 0;
+}
+
+}  // namespace rrb

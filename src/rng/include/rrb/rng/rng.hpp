@@ -1,0 +1,116 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rrb/common/check.hpp"
+
+/// \file rng.hpp
+/// Deterministic, seedable randomness for every simulation component.
+///
+/// All stochastic behaviour in the library flows through Rng so that a run
+/// is exactly reproducible from (seed, parameters). The engine is
+/// xoshiro256** (Blackman & Vigna), seeded through splitmix64 as its authors
+/// recommend; both are implemented here from the public-domain reference
+/// algorithms so the library has no external dependencies.
+
+namespace rrb {
+
+/// splitmix64 step: advances `state` and returns the next output. Used for
+/// seeding and for cheap stateless hashing of seed material.
+[[nodiscard]] std::uint64_t splitmix64_next(std::uint64_t& state);
+
+/// xoshiro256** engine. Satisfies std::uniform_random_bit_generator, so it
+/// can be plugged into <random> distributions where convenient, though the
+/// Rng helpers below are preferred (they are portable across standard
+/// library implementations, which <random> distributions are not).
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed via splitmix64 so that any 64-bit seed (including 0) yields a
+  /// well-mixed, non-degenerate state.
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0xdeadbeefcafef00dULL);
+
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() {
+    return ~static_cast<result_type>(0);
+  }
+
+  result_type operator()();
+
+  /// Jump ahead 2^128 steps; used to derive independent parallel streams.
+  void jump();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// High-level random source. One instance per simulation trial.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0xdeadbeefcafef00dULL) : engine_(seed) {}
+
+  /// Raw 64 random bits.
+  [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
+
+  /// Uniform integer in [0, bound) via Lemire's unbiased multiply-shift
+  /// rejection method. bound must be >= 1.
+  [[nodiscard]] std::uint64_t uniform_u64(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  [[nodiscard]] double uniform_double();
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Fisher–Yates shuffle of a span in place.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_u64(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Sample k distinct values uniformly from [0, n), k <= n.
+  ///
+  /// Uses Floyd's algorithm: O(k) expected work independent of n, no
+  /// allocation beyond the output. Order of the output is the insertion
+  /// order of Floyd's algorithm (a uniformly random k-subset, though not a
+  /// uniformly random *sequence*; callers that need a random order should
+  /// shuffle).
+  void sample_distinct(std::uint64_t n, std::size_t k,
+                       std::vector<std::uint64_t>& out);
+
+  /// Sample k distinct indices from [0, n) into a small fixed buffer,
+  /// returning the number written (== k). Optimised for the phone call
+  /// model's k <= 8 choices out of a node's d neighbours: for tiny k it uses
+  /// rejection against the already-chosen prefix, which beats any set
+  /// structure.
+  std::size_t sample_distinct_small(std::uint32_t n, std::size_t k,
+                                    std::span<std::uint32_t> out);
+
+  /// A fresh Rng whose stream is independent of this one (derived by
+  /// hashing a drawn value; suitable for seeding per-trial generators).
+  [[nodiscard]] Rng split();
+
+  /// Access the raw engine (for <random> interop in tests).
+  [[nodiscard]] Xoshiro256StarStar& engine() { return engine_; }
+
+ private:
+  Xoshiro256StarStar engine_;
+};
+
+/// Derive a stable 64-bit seed for a named sub-stream, e.g.
+/// `derive_seed(base, trial_index)`. Deterministic mixing via splitmix64.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base,
+                                        std::uint64_t stream);
+
+}  // namespace rrb

@@ -1,0 +1,38 @@
+#include "rrb/sim/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rrb {
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+
+  double total = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (const double v : values) {
+    total += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = total / static_cast<double>(values.size());
+
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (const double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+
+  std::vector<double> sorted(values);
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  s.median = sorted.size() % 2 == 1
+                 ? sorted[mid]
+                 : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  return s;
+}
+
+}  // namespace rrb

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rrb/graph/graph.hpp"
+#include "rrb/phonecall/engine.hpp"
+#include "rrb/rng/rng.hpp"
+
+/// \file trace.hpp
+/// Per-round set-size traces averaged over trials: the raw material for the
+/// phase-dynamics experiments (Lemmas 1–4, 8). For each round we record the
+/// quantities the paper's analysis tracks: |I(t)|, |I+(t)|, h(t) = |H(t)|,
+/// and h_i(t) = |{v in H(t) : v has >= i neighbours in H(t)}| for i = 1,4,5.
+
+namespace rrb {
+
+/// One round's set sizes (averaged over trials as doubles).
+struct SetTracePoint {
+  Round t = 0;
+  double informed = 0.0;        ///< |I(t)|
+  double newly_informed = 0.0;  ///< |I+(t)|
+  double uninformed = 0.0;      ///< h(t)
+  double h1 = 0.0;              ///< nodes of H(t) with >= 1 neighbour in H(t)
+  double h4 = 0.0;              ///< ... >= 4 neighbours in H(t)
+  double h5 = 0.0;              ///< ... >= 5 neighbours in H(t)
+  double unused_edge_nodes = 0.0;  ///< |U(t)| when edge tracking is on
+};
+
+struct TraceConfig {
+  int trials = 3;
+  std::uint64_t seed = 0x77ace;
+  ChannelConfig channel;
+  RunLimits limits;
+  bool track_h_sets = true;      ///< compute h1/h4/h5 (O(m) per round)
+  bool track_edge_usage = false; ///< compute |U(t)| (needs edge id map)
+};
+
+/// Protocol factory as in trial.hpp, but graphs are provided by the caller
+/// per trial via the factory to keep the probability space identical.
+using TraceProtocolFactory =
+    std::function<std::unique_ptr<BroadcastProtocol>(const Graph&)>;
+using TraceGraphFactory = std::function<Graph(Rng&)>;
+
+/// Run trials and average the per-round set sizes. The trace length is the
+/// maximum round count across trials; trials that stopped earlier
+/// contribute their final state to later rounds (the sets are monotone).
+[[nodiscard]] std::vector<SetTracePoint> trace_set_sizes(
+    const TraceGraphFactory& graph_factory,
+    const TraceProtocolFactory& protocol_factory, const TraceConfig& config);
+
+}  // namespace rrb

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rrb/graph/graph.hpp"
+#include "rrb/phonecall/engine.hpp"
+#include "rrb/phonecall/protocol.hpp"
+#include "rrb/phonecall/result.hpp"
+#include "rrb/rng/rng.hpp"
+#include "rrb/sim/aggregate.hpp"
+
+/// \file trial.hpp
+/// Repeated-trial experiment driver: regenerates the random graph per trial
+/// (matching the paper's "random graph, random algorithm" probability
+/// space), runs a protocol from a random source, and aggregates.
+
+namespace rrb {
+
+/// Builds a fresh graph for each trial. Receives the per-trial Rng.
+using GraphFactory = std::function<Graph(Rng&)>;
+
+/// Builds a fresh protocol instance per trial (protocols are stateful).
+using ProtocolFactory =
+    std::function<std::unique_ptr<BroadcastProtocol>(const Graph&)>;
+
+struct TrialConfig {
+  int trials = 5;
+  std::uint64_t seed = 0x5eed;
+  ChannelConfig channel;
+  RunLimits limits;
+  bool random_source = true;  ///< random source per trial; node 0 otherwise
+};
+
+/// Everything measured across the trials of one experiment cell.
+struct TrialOutcome {
+  std::vector<RunResult> runs;
+  Summary rounds;            ///< rounds until the protocol stopped
+  Summary completion_round;  ///< rounds until all nodes informed (only
+                             ///< completed runs contribute)
+  Summary total_tx;
+  Summary tx_per_node;
+  Summary push_tx;
+  Summary pull_tx;
+  double completion_rate = 0.0;  ///< fraction of runs informing everyone
+};
+
+/// Run `config.trials` independent trials.
+[[nodiscard]] TrialOutcome run_trials(const GraphFactory& graph_factory,
+                                      const ProtocolFactory& protocol_factory,
+                                      const TrialConfig& config);
+
+}  // namespace rrb

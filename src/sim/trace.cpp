@@ -1,0 +1,114 @@
+#include "rrb/sim/trace.hpp"
+
+#include <algorithm>
+
+#include "rrb/common/check.hpp"
+#include "rrb/phonecall/edge_ids.hpp"
+
+namespace rrb {
+
+namespace {
+
+/// Count, for every node of H(t), its neighbours inside H(t), and bucket
+/// into h1/h4/h5. Also counts |U(t)| from the edge-usage bitmap if given.
+void measure_sets(const Graph& g, std::span<const Round> informed_at,
+                  const std::vector<std::uint8_t>* edge_used,
+                  const EdgeIdMap* edge_ids, SetTracePoint& point) {
+  const NodeId n = g.num_nodes();
+  Count h1 = 0, h4 = 0, h5 = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (informed_at[v] != kNever) continue;
+    NodeId inside = 0;
+    for (const NodeId w : g.neighbors(v))
+      if (informed_at[w] == kNever) ++inside;
+    if (inside >= 1) ++h1;
+    if (inside >= 4) ++h4;
+    if (inside >= 5) ++h5;
+  }
+  point.h1 += static_cast<double>(h1);
+  point.h4 += static_cast<double>(h4);
+  point.h5 += static_cast<double>(h5);
+
+  if (edge_used != nullptr && edge_ids != nullptr) {
+    Count unused_nodes = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId d = g.degree(v);
+      bool has_unused = false;
+      for (NodeId i = 0; i < d && !has_unused; ++i)
+        if (!(*edge_used)[edge_ids->edge_of(v, i)]) has_unused = true;
+      if (has_unused) ++unused_nodes;
+    }
+    point.unused_edge_nodes += static_cast<double>(unused_nodes);
+  }
+}
+
+}  // namespace
+
+std::vector<SetTracePoint> trace_set_sizes(
+    const TraceGraphFactory& graph_factory,
+    const TraceProtocolFactory& protocol_factory, const TraceConfig& config) {
+  RRB_REQUIRE(config.trials >= 1, "need at least one trial");
+
+  std::vector<SetTracePoint> trace;
+  std::vector<int> contributions;  // trials contributing to each round
+  for (int trial = 0; trial < config.trials; ++trial) {
+    Rng rng(derive_seed(config.seed, static_cast<std::uint64_t>(trial)));
+    const Graph graph = graph_factory(rng);
+    auto protocol = protocol_factory(graph);
+
+    GraphTopology topo(graph);
+    PhoneCallEngine<GraphTopology> engine(topo, config.channel, rng);
+
+    EdgeIdMap edge_ids;
+    if (config.track_edge_usage) {
+      edge_ids = build_edge_id_map(graph);
+      engine.enable_edge_usage_tracking(edge_ids);
+    }
+
+    Count last_informed = 1;  // the source is informed before round 1
+    engine.set_round_observer([&](Round t, std::span<const Round> informed) {
+      const auto idx = static_cast<std::size_t>(t - 1);
+      if (trace.size() <= idx) {
+        trace.resize(idx + 1);
+        contributions.resize(idx + 1, 0);
+      }
+      ++contributions[idx];
+      SetTracePoint& point = trace[idx];
+      point.t = t;
+      Count informed_count = 0;
+      for (const Round r : informed)
+        if (r != kNever) ++informed_count;
+      point.informed += static_cast<double>(informed_count);
+      point.newly_informed +=
+          static_cast<double>(informed_count - last_informed);
+      point.uninformed +=
+          static_cast<double>(graph.num_nodes() - informed_count);
+      last_informed = informed_count;
+      if (config.track_h_sets || config.track_edge_usage)
+        measure_sets(graph, informed,
+                     config.track_edge_usage ? &engine.edge_used() : nullptr,
+                     config.track_edge_usage ? &edge_ids : nullptr, point);
+    });
+
+    const NodeId source =
+        static_cast<NodeId>(rng.uniform_u64(graph.num_nodes()));
+    (void)engine.run(*protocol, source, config.limits);
+  }
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    SetTracePoint& point = trace[i];
+    const double scale =
+        contributions[i] > 0 ? 1.0 / static_cast<double>(contributions[i])
+                             : 1.0;
+    point.informed *= scale;
+    point.newly_informed *= scale;
+    point.uninformed *= scale;
+    point.h1 *= scale;
+    point.h4 *= scale;
+    point.h5 *= scale;
+    point.unused_edge_nodes *= scale;
+  }
+  return trace;
+}
+
+}  // namespace rrb

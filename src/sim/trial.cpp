@@ -1,0 +1,60 @@
+#include "rrb/sim/trial.hpp"
+
+#include "rrb/common/check.hpp"
+
+namespace rrb {
+
+TrialOutcome run_trials(const GraphFactory& graph_factory,
+                        const ProtocolFactory& protocol_factory,
+                        const TrialConfig& config) {
+  RRB_REQUIRE(config.trials >= 1, "need at least one trial");
+
+  TrialOutcome outcome;
+  SummaryAccumulator rounds;
+  SummaryAccumulator completion;
+  SummaryAccumulator total_tx;
+  SummaryAccumulator tx_per_node;
+  SummaryAccumulator push_tx;
+  SummaryAccumulator pull_tx;
+  int completed = 0;
+
+  for (int trial = 0; trial < config.trials; ++trial) {
+    Rng rng(derive_seed(config.seed, static_cast<std::uint64_t>(trial)));
+    const Graph graph = graph_factory(rng);
+    RRB_REQUIRE(graph.num_nodes() >= 2, "trial graph too small");
+
+    auto protocol = protocol_factory(graph);
+    RRB_REQUIRE(protocol != nullptr, "protocol factory returned null");
+
+    GraphTopology topo(graph);
+    PhoneCallEngine<GraphTopology> engine(topo, config.channel, rng);
+    const NodeId source =
+        config.random_source
+            ? static_cast<NodeId>(rng.uniform_u64(graph.num_nodes()))
+            : 0;
+    const RunResult run = engine.run(*protocol, source, config.limits);
+
+    rounds.add(static_cast<double>(run.rounds));
+    total_tx.add(static_cast<double>(run.total_tx()));
+    tx_per_node.add(run.tx_per_node());
+    push_tx.add(static_cast<double>(run.push_tx));
+    pull_tx.add(static_cast<double>(run.pull_tx));
+    if (run.all_informed) {
+      ++completed;
+      completion.add(static_cast<double>(run.completion_round));
+    }
+    outcome.runs.push_back(run);
+  }
+
+  outcome.rounds = rounds.finish();
+  outcome.completion_round = completion.finish();
+  outcome.total_tx = total_tx.finish();
+  outcome.tx_per_node = tx_per_node.finish();
+  outcome.push_tx = push_tx.finish();
+  outcome.pull_tx = pull_tx.finish();
+  outcome.completion_rate =
+      static_cast<double>(completed) / static_cast<double>(config.trials);
+  return outcome;
+}
+
+}  // namespace rrb

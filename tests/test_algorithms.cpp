@@ -1,0 +1,245 @@
+#include "rrb/graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rrb/graph/generators.hpp"
+
+namespace rrb {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = path(5);
+  const auto d = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 5; ++v)
+    EXPECT_EQ(d[v], static_cast<std::int32_t>(v));
+}
+
+TEST(Bfs, UnreachableNodesFlagged) {
+  const Graph g = disjoint_union(path(2), path(2));
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(Bfs, HandlesCycleSymmetrically) {
+  const Graph g = cycle(8);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[4], 4);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[7], 1);
+}
+
+TEST(Connectivity, ConnectedAndDisconnected) {
+  EXPECT_TRUE(is_connected(cycle(5)));
+  EXPECT_TRUE(is_connected(complete(4)));
+  EXPECT_FALSE(is_connected(disjoint_union(cycle(3), cycle(3))));
+  EXPECT_TRUE(is_connected(Graph(1)));
+  EXPECT_TRUE(is_connected(Graph(0)));
+}
+
+TEST(Components, LabelsAndCounts) {
+  const Graph g = disjoint_union(cycle(3), path(4));
+  const auto comps = connected_components(g);
+  EXPECT_EQ(comps.count, 2U);
+  EXPECT_EQ(comps.label[0], comps.label[1]);
+  EXPECT_EQ(comps.label[0], comps.label[2]);
+  EXPECT_EQ(comps.label[3], comps.label[6]);
+  EXPECT_NE(comps.label[0], comps.label[3]);
+}
+
+TEST(Components, IsolatedNodesAreOwnComponents) {
+  const auto comps = connected_components(Graph(4));
+  EXPECT_EQ(comps.count, 4U);
+}
+
+TEST(Eccentricity, CenterVsLeafOfPath) {
+  const Graph g = path(5);
+  EXPECT_EQ(eccentricity(g, 0), 4);
+  EXPECT_EQ(eccentricity(g, 2), 2);
+}
+
+TEST(Eccentricity, ThrowsOnDisconnected) {
+  const Graph g = disjoint_union(path(2), path(2));
+  EXPECT_THROW((void)eccentricity(g, 0), std::runtime_error);
+}
+
+TEST(Diameter, ExactOnKnownGraphs) {
+  EXPECT_EQ(diameter_exact(cycle(10)), 5);
+  EXPECT_EQ(diameter_exact(complete(7)), 1);
+  EXPECT_EQ(diameter_exact(path(6)), 5);
+  EXPECT_EQ(diameter_exact(hypercube(4)), 4);
+}
+
+TEST(Diameter, DoubleSweepBoundsExact) {
+  Rng rng(1);
+  const Graph g = random_regular_simple(200, 4, rng);
+  const int exact = diameter_exact(g);
+  const int estimate = diameter_double_sweep(g, rng);
+  EXPECT_LE(estimate, exact);
+  EXPECT_GE(estimate, exact - 2);  // double sweep is near-tight here
+}
+
+TEST(Diameter, RandomRegularIsLogarithmic) {
+  // Diameter of G(n,d) is Theta(log n / log(d-1)); at n=1000, d=6 it is
+  // around 5; assert a generous bracket.
+  Rng rng(2);
+  const Graph g = random_regular_simple(1000, 6, rng);
+  const int diam = diameter_double_sweep(g, rng);
+  EXPECT_GE(diam, 3);
+  EXPECT_LE(diam, 10);
+}
+
+TEST(SecondEigenvalue, CompleteGraphIsOne) {
+  // Adjacency spectrum of K_n: {n-1, -1, ..., -1}; |lambda_2| = 1.
+  Rng rng(3);
+  const double l2 = second_eigenvalue_regular(complete(30), 200, rng);
+  EXPECT_NEAR(l2, 1.0, 0.05);
+}
+
+TEST(SecondEigenvalue, EvenCycleIsBipartiteWithLambdaTwo) {
+  // C_n for even n is bipartite: the adjacency spectrum contains -2, so the
+  // largest non-principal |eigenvalue| is exactly 2.
+  Rng rng(4);
+  const double l2 = second_eigenvalue_regular(cycle(40), 3000, rng);
+  EXPECT_NEAR(l2, 2.0, 0.02);
+}
+
+TEST(SecondEigenvalue, OddCycleMatchesCosineFormula) {
+  // C_n for odd n: eigenvalues 2cos(2·pi·k/n); the largest non-principal
+  // absolute value is |2cos(pi(n-1)/n)| = 2cos(pi/n).
+  Rng rng(4);
+  const NodeId n = 41;
+  const double expected = 2.0 * std::cos(M_PI / n);
+  const double l2 = second_eigenvalue_regular(cycle(n), 4000, rng);
+  EXPECT_NEAR(l2, expected, 0.02);
+}
+
+TEST(SecondEigenvalue, RandomRegularIsNearRamanujan) {
+  // Friedman: |lambda_2| <= 2 sqrt(d-1) (1+o(1)) w.h.p. — the bound
+  // Theorem 1 uses. Allow 20% headroom at this modest size.
+  Rng rng(5);
+  const Graph g = random_regular_simple(600, 6, rng);
+  const double l2 = second_eigenvalue_regular(g, 300, rng);
+  EXPECT_LT(l2, 1.2 * 2.0 * std::sqrt(5.0));
+  EXPECT_GT(l2, 1.0);
+}
+
+TEST(SecondEigenvalue, RequiresRegularGraph) {
+  Rng rng(6);
+  EXPECT_THROW((void)second_eigenvalue_regular(path(5), 10, rng),
+               std::logic_error);
+}
+
+TEST(EdgeBoundary, ExactOnCompleteBipartition) {
+  const Graph g = complete(6);
+  std::vector<std::uint8_t> set(6, 0);
+  set[0] = set[1] = set[2] = 1;
+  EXPECT_EQ(edge_boundary(g, set), 9U);  // 3 * 3
+  EXPECT_EQ(internal_edges(g, set), 3U);
+}
+
+TEST(EdgeBoundary, EmptyAndFullSets) {
+  const Graph g = cycle(5);
+  std::vector<std::uint8_t> empty(5, 0);
+  std::vector<std::uint8_t> full(5, 1);
+  EXPECT_EQ(edge_boundary(g, empty), 0U);
+  EXPECT_EQ(edge_boundary(g, full), 0U);
+  EXPECT_EQ(internal_edges(g, full), 5U);
+}
+
+TEST(EdgeBoundary, CountsParallelEdgesWithMultiplicity) {
+  const std::vector<Edge> edges{{0, 1}, {0, 1}};
+  const Graph g = Graph::from_edges(2, edges);
+  std::vector<std::uint8_t> set{1, 0};
+  EXPECT_EQ(edge_boundary(g, set), 2U);
+}
+
+TEST(ExpanderMixing, HoldsOnRandomRegular) {
+  // |e(S,S̄) - d|S||S̄|/n| <= lambda sqrt(|S||S̄|) for all tested S; use the
+  // measured lambda_2.
+  Rng rng(7);
+  const Graph g = random_regular_simple(400, 8, rng);
+  const double lambda =
+      1.1 * second_eigenvalue_regular(g, 200, rng);  // small safety margin
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<std::uint8_t> set(g.num_nodes(), 0);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) set[v] = rng.bernoulli(0.3);
+    const MixingCheck check = expander_mixing_check(g, set, lambda);
+    EXPECT_LE(check.deviation, check.bound);
+  }
+}
+
+TEST(Matching, PerfectOnEvenCycle) {
+  const auto m = greedy_matching(cycle(8));
+  EXPECT_EQ(m.size(), 4U);
+}
+
+TEST(Matching, NodesMatchedAtMostOnce) {
+  Rng rng(8);
+  const Graph g = random_regular_simple(100, 5, rng);
+  const auto m = greedy_matching(g);
+  std::vector<int> used(100, 0);
+  for (const auto& [a, b] : m) {
+    ++used[a];
+    ++used[b];
+  }
+  for (const int u : used) EXPECT_LE(u, 1);
+  // Greedy maximal matching covers at least half the max matching; on a
+  // 5-regular graph expect a large matching.
+  EXPECT_GE(m.size(), 35U);
+}
+
+TEST(Matching, RestrictedToSetIgnoresOutsiders) {
+  const Graph g = complete(6);
+  std::vector<std::uint8_t> set(6, 0);
+  set[0] = set[1] = 1;
+  const auto m = greedy_matching_in_set(g, set);
+  ASSERT_EQ(m.size(), 1U);
+  EXPECT_EQ(std::min(m[0].first, m[0].second), 0U);
+  EXPECT_EQ(std::max(m[0].first, m[0].second), 1U);
+}
+
+TEST(Matching, EmptySetYieldsEmptyMatching) {
+  const Graph g = complete(4);
+  std::vector<std::uint8_t> set(4, 0);
+  EXPECT_TRUE(greedy_matching_in_set(g, set).empty());
+}
+
+TEST(DegreeStats, MixedDegrees) {
+  const Graph g = star(5);
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_EQ(stats.min, 1U);
+  EXPECT_EQ(stats.max, 4U);
+  EXPECT_DOUBLE_EQ(stats.mean, 8.0 / 5.0);
+}
+
+TEST(Clustering, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(complete(5)), 1.0);
+}
+
+TEST(Clustering, TreeIsZero) {
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(star(6)), 0.0);
+}
+
+TEST(Clustering, RandomRegularIsNearZero) {
+  Rng rng(9);
+  const Graph g = random_regular_simple(300, 6, rng);
+  EXPECT_LT(global_clustering_coefficient(g), 0.05);
+}
+
+TEST(Clustering, ProductWithK5IsClustered) {
+  // The §5 counterexample: G(n,d) x K5 has constant clustering inside the
+  // K5 fibres — structurally unlike a random regular graph of the same
+  // degree, despite similar expansion.
+  Rng rng(10);
+  const Graph g = random_regular_simple(100, 4, rng);
+  const Graph prod = cartesian_product(g, complete(5));
+  EXPECT_GT(global_clustering_coefficient(prod), 0.1);
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,204 @@
+#include "rrb/protocols/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rrb/common/math.hpp"
+#include "rrb/graph/generators.hpp"
+#include "rrb/phonecall/engine.hpp"
+
+namespace rrb {
+namespace {
+
+RunResult run_protocol(BroadcastProtocol& proto, const Graph& g,
+                       std::uint64_t seed, int choices = 1,
+                       Round max_rounds = 1 << 16) {
+  GraphTopology topo(g);
+  Rng rng(seed);
+  ChannelConfig cfg;
+  cfg.num_choices = choices;
+  PhoneCallEngine<GraphTopology> engine(topo, cfg, rng);
+  RunLimits limits;
+  limits.max_rounds = max_rounds;
+  return engine.run(proto, NodeId{0}, limits);
+}
+
+TEST(Push, CompletesOnCompleteGraph) {
+  PushProtocol push;
+  const Graph g = complete(256);
+  const RunResult r = run_protocol(push, g, 1);
+  EXPECT_TRUE(r.all_informed);
+  // log2(256) + ln(256) ≈ 13.5 expected; generous bracket.
+  EXPECT_GE(r.rounds, 8);
+  EXPECT_LE(r.rounds, 30);
+}
+
+TEST(Push, CompletesOnRandomRegular) {
+  Rng grng(2);
+  const Graph g = random_regular_simple(1024, 8, grng);
+  PushProtocol push;
+  const RunResult r = run_protocol(push, g, 3);
+  EXPECT_TRUE(r.all_informed);
+  EXPECT_LE(r.rounds, 60);
+}
+
+TEST(Push, TransmissionsAreThetaNLogN) {
+  // Push keeps all informed nodes talking, so total transmissions are
+  // ~ n * (tail length) = Θ(n log n). Check the per-node count is well
+  // above log log n and in the log n ballpark.
+  Rng grng(3);
+  const NodeId n = 4096;
+  const Graph g = random_regular_simple(n, 8, grng);
+  PushProtocol push;
+  const RunResult r = run_protocol(push, g, 4);
+  ASSERT_TRUE(r.all_informed);
+  const double per_node = r.tx_per_node();
+  const double lg_n = std::log2(static_cast<double>(n));
+  EXPECT_GT(per_node, 0.5 * lg_n);
+  EXPECT_LT(per_node, 6.0 * lg_n);
+}
+
+TEST(Push, RoundsTrackFountoulakisPanagiotouConstant) {
+  // Rounds/ln n should approach C_d (within simulation slack at n = 2^13).
+  Rng grng(4);
+  const NodeId n = 8192;
+  const int d = 8;
+  const Graph g = random_regular_simple(n, static_cast<NodeId>(d), grng);
+  PushProtocol push;
+  double total_rounds = 0.0;
+  constexpr int kReps = 3;
+  for (int i = 0; i < kReps; ++i)
+    total_rounds +=
+        static_cast<double>(run_protocol(push, g, 100 + i).rounds);
+  const double measured = total_rounds / kReps / std::log(n);
+  const double cd = push_constant_cd(d);
+  EXPECT_GT(measured, 0.7 * cd);
+  EXPECT_LT(measured, 1.5 * cd);
+}
+
+TEST(Pull, CompletesOnCompleteGraph) {
+  PullProtocol pull;
+  const Graph g = complete(256);
+  const RunResult r = run_protocol(pull, g, 5);
+  EXPECT_TRUE(r.all_informed);
+  EXPECT_LE(r.rounds, 40);
+}
+
+TEST(Pull, DoublingPhaseThenSuperExponentialTail) {
+  // Pull's hallmark: once half the nodes are informed the uninformed count
+  // squares away each round (h -> h^2/n on the complete graph), so the
+  // tail after n/2 is O(log log n) rounds.
+  PullProtocol pull;
+  const Graph g = complete(1024);
+  GraphTopology topo(g);
+  Rng rng(6);
+  PhoneCallEngine<GraphTopology> engine(topo, ChannelConfig{}, rng);
+  RunLimits limits;
+  limits.record_rounds = true;
+  const RunResult r = engine.run(pull, NodeId{0}, limits);
+  ASSERT_TRUE(r.all_informed);
+  Round half_round = 0;
+  for (const RoundStats& round : r.per_round)
+    if (round.informed >= 512) {
+      half_round = round.t;
+      break;
+    }
+  const Round tail = r.completion_round - half_round;
+  EXPECT_LE(tail, 6);  // log log 1024 ≈ 3.3
+}
+
+TEST(PushPull, CompletesFasterThanPushAlone) {
+  Rng grng(7);
+  const Graph g = random_regular_simple(2048, 8, grng);
+  PushProtocol push;
+  PushPullProtocol pp;
+  double push_rounds = 0.0;
+  double pp_rounds = 0.0;
+  constexpr int kReps = 3;
+  for (int i = 0; i < kReps; ++i) {
+    push_rounds += static_cast<double>(run_protocol(push, g, 10 + i).rounds);
+    pp_rounds += static_cast<double>(run_protocol(pp, g, 20 + i).rounds);
+  }
+  EXPECT_LT(pp_rounds, push_rounds);
+}
+
+TEST(PushPull, CompletesOnSparseRandomRegular) {
+  Rng grng(8);
+  const Graph g = random_regular_simple(1024, 4, grng);
+  PushPullProtocol pp;
+  const RunResult r = run_protocol(pp, g, 9);
+  EXPECT_TRUE(r.all_informed);
+  EXPECT_LE(r.rounds, 50);
+}
+
+TEST(Baselines, OracleTerminationStopsAtCompletion) {
+  const Graph g = complete(64);
+  PushProtocol push;
+  const RunResult r = run_protocol(push, g, 10);
+  EXPECT_EQ(r.rounds, r.completion_round);
+}
+
+TEST(Baselines, NamesAreStable) {
+  PushProtocol push;
+  PullProtocol pull;
+  PushPullProtocol pp;
+  EXPECT_STREQ(push.name(), "push");
+  EXPECT_STREQ(pull.name(), "pull");
+  EXPECT_STREQ(pp.name(), "push-pull");
+}
+
+TEST(Baselines, PushNeverPulls) {
+  Rng grng(11);
+  const Graph g = random_regular_simple(512, 6, grng);
+  PushProtocol push;
+  const RunResult r = run_protocol(push, g, 12);
+  EXPECT_EQ(r.pull_tx, 0U);
+  EXPECT_GT(r.push_tx, 0U);
+}
+
+TEST(Baselines, PullNeverPushes) {
+  Rng grng(13);
+  const Graph g = random_regular_simple(512, 6, grng);
+  PullProtocol pull;
+  const RunResult r = run_protocol(pull, g, 14);
+  EXPECT_EQ(r.push_tx, 0U);
+  EXPECT_GT(r.pull_tx, 0U);
+}
+
+TEST(Baselines, PushPullUsesBothDirections) {
+  Rng grng(15);
+  const Graph g = random_regular_simple(512, 6, grng);
+  PushPullProtocol pp;
+  const RunResult r = run_protocol(pp, g, 16);
+  EXPECT_GT(r.push_tx, 0U);
+  EXPECT_GT(r.pull_tx, 0U);
+}
+
+/// Property sweep: all baselines complete on random regular graphs across a
+/// parameter grid (protocol x n x d).
+class BaselineCompletionParam
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BaselineCompletionParam, AllInformed) {
+  const auto [proto_id, n, d] = GetParam();
+  Rng grng(static_cast<std::uint64_t>(n * 31 + d));
+  const Graph g = random_regular_simple(static_cast<NodeId>(n),
+                                        static_cast<NodeId>(d), grng);
+  PushProtocol push;
+  PullProtocol pull;
+  PushPullProtocol pp;
+  BroadcastProtocol* protos[3] = {&push, &pull, &pp};
+  const RunResult r = run_protocol(*protos[proto_id], g,
+                                   static_cast<std::uint64_t>(n + d), 1, 2000);
+  EXPECT_TRUE(r.all_informed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BaselineCompletionParam,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(128, 512),
+                       ::testing::Values(4, 8, 16)));
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,136 @@
+#include "rrb/p2p/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rrb/phonecall/engine.hpp"
+#include "rrb/protocols/baselines.hpp"
+#include "rrb/protocols/four_choice.hpp"
+
+namespace rrb {
+namespace {
+
+TEST(Churn, JoinRateIsHonouredInExpectation) {
+  Rng rng(1);
+  DynamicOverlay overlay(4096, 256, 6, rng);
+  ChurnConfig cfg;
+  cfg.joins_per_round = 2.5;
+  ChurnDriver driver(overlay, cfg, rng);
+  for (Round t = 1; t <= 400; ++t) driver.apply(t);
+  // 400 rounds * 2.5 expected = 1000; binomial noise is ~ sqrt(1000).
+  EXPECT_NEAR(static_cast<double>(driver.total_joins()), 1000.0, 120.0);
+  EXPECT_EQ(driver.total_leaves(), 0U);
+}
+
+TEST(Churn, LeaveRateIsHonouredInExpectation) {
+  Rng rng(2);
+  DynamicOverlay overlay(4096, 2048, 6, rng);
+  ChurnConfig cfg;
+  cfg.leaves_per_round = 1.5;
+  ChurnDriver driver(overlay, cfg, rng);
+  for (Round t = 1; t <= 400; ++t) driver.apply(t);
+  EXPECT_NEAR(static_cast<double>(driver.total_leaves()), 600.0, 100.0);
+}
+
+TEST(Churn, MinAliveFloorsDepartures) {
+  Rng rng(3);
+  DynamicOverlay overlay(64, 32, 4, rng);
+  ChurnConfig cfg;
+  cfg.leaves_per_round = 10.0;
+  cfg.min_alive = 16;
+  ChurnDriver driver(overlay, cfg, rng);
+  for (Round t = 1; t <= 50; ++t) driver.apply(t);
+  EXPECT_GE(overlay.num_alive(), 16U);
+}
+
+TEST(Churn, BalancedChurnKeepsSizeStable) {
+  Rng rng(4);
+  DynamicOverlay overlay(1024, 512, 6, rng);
+  ChurnConfig cfg;
+  cfg.joins_per_round = 2.0;
+  cfg.leaves_per_round = 2.0;
+  cfg.switches_per_round = 4;
+  ChurnDriver driver(overlay, cfg, rng);
+  for (Round t = 1; t <= 300; ++t) driver.apply(t);
+  overlay.check_invariants();
+  EXPECT_NEAR(static_cast<double>(overlay.num_alive()), 512.0, 150.0);
+}
+
+TEST(Churn, BroadcastSurvivesChurnAsEngineHook) {
+  // The headline robustness scenario: the four-choice broadcast keeps its
+  // guarantees while nodes join and leave between rounds.
+  Rng rng(5);
+  DynamicOverlay overlay(3000, 2048, 8, rng);
+  ChurnConfig ccfg;
+  ccfg.joins_per_round = 1.0;
+  ccfg.leaves_per_round = 1.0;
+  ccfg.switches_per_round = 2;
+  ChurnDriver driver(overlay, ccfg, rng);
+
+  FourChoiceConfig fc;
+  fc.n_estimate = 2048;
+  fc.alpha = 2.0;
+  FourChoiceBroadcast alg(fc);
+
+  ChannelConfig chan;
+  chan.num_choices = 4;
+  PhoneCallEngine<DynamicOverlay> engine(overlay, chan, rng);
+  driver.set_join_callback([&](NodeId v) { engine.reset_node(v); });
+  engine.set_round_hook([&](Round t) { driver.apply(t); });
+  const RunResult r = engine.run(alg, NodeId{0}, RunLimits{});
+  EXPECT_GT(driver.total_joins(), 0U);
+  EXPECT_GT(driver.total_leaves(), 0U);
+  // The only nodes allowed to miss the message are joiners that arrived too
+  // late in the schedule to be reached (after the pull round).
+  const double coverage = static_cast<double>(r.final_informed) /
+                          static_cast<double>(r.alive_at_end);
+  EXPECT_GT(coverage, 0.97);
+  const Count uninformed = r.alive_at_end - r.final_informed;
+  EXPECT_LE(uninformed, driver.total_joins());
+}
+
+TEST(Churn, ReusedSlotsDoNotInheritInformedStatus) {
+  // Regression: a joiner reusing a departed peer's slot must start
+  // uninformed. We churn hard at zero capacity headroom (every join reuses
+  // a freed slot) during a silent protocol — nobody can learn anything, so
+  // final_informed must remain exactly 1 (the source) or 0 if the source
+  // itself departed.
+  class Silent final : public BroadcastProtocol {
+   public:
+    Action action(NodeId, const NodeLocalState&, Round) override {
+      return Action::kNone;
+    }
+    bool finished(Round, Count, Count) const override { return false; }
+    const char* name() const override { return "silent"; }
+  };
+
+  Rng rng(7);
+  DynamicOverlay overlay(64, 64, 4, rng);  // zero headroom: joins reuse slots
+  ChurnConfig cfg;
+  cfg.joins_per_round = 4.0;
+  cfg.leaves_per_round = 4.0;
+  cfg.min_alive = 16;
+  ChurnDriver driver(overlay, cfg, rng);
+
+  Silent silent;
+  PhoneCallEngine<DynamicOverlay> engine(overlay, ChannelConfig{}, rng);
+  driver.set_join_callback([&](NodeId v) { engine.reset_node(v); });
+  engine.set_round_hook([&](Round t) { driver.apply(t); });
+  RunLimits limits;
+  limits.max_rounds = 60;
+  const RunResult r = engine.run(silent, NodeId{0}, limits);
+  EXPECT_GT(driver.total_joins(), 40U);  // plenty of slot reuse happened
+  EXPECT_LE(r.final_informed, 1U);
+}
+
+TEST(Churn, ZeroRatesDoNothing) {
+  Rng rng(6);
+  DynamicOverlay overlay(64, 32, 4, rng);
+  ChurnDriver driver(overlay, ChurnConfig{}, rng);
+  for (Round t = 1; t <= 100; ++t) driver.apply(t);
+  EXPECT_EQ(driver.total_joins(), 0U);
+  EXPECT_EQ(driver.total_leaves(), 0U);
+  EXPECT_EQ(overlay.num_alive(), 32U);
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,118 @@
+#include "rrb/core/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rrb/graph/generators.hpp"
+
+namespace rrb {
+namespace {
+
+Graph regular_graph_for(NodeId n, NodeId d, std::uint64_t seed) {
+  Rng rng(seed);
+  return random_regular_simple(n, d, rng);
+}
+
+TEST(CoreBroadcast, DefaultOptionsRunFourChoiceToCompletion) {
+  const Graph g = regular_graph_for(2048, 8, 2);
+  const RunResult r = broadcast(g, 0);
+  EXPECT_TRUE(r.all_informed);
+  EXPECT_GT(r.pull_tx, 0U);  // Algorithm 1's pull round happened
+}
+
+TEST(CoreBroadcast, EverySchemeCompletesOnRandomRegular) {
+  const Graph g = regular_graph_for(1024, 8, 3);
+  for (const BroadcastScheme scheme :
+       {BroadcastScheme::kPush, BroadcastScheme::kPull,
+        BroadcastScheme::kPushPull, BroadcastScheme::kFixedHorizonPush,
+        BroadcastScheme::kMedianCounter,
+        BroadcastScheme::kThrottledPushPull, BroadcastScheme::kFourChoice,
+        BroadcastScheme::kSequentialised}) {
+    BroadcastOptions opt;
+    opt.scheme = scheme;
+    opt.seed = 4;
+    const RunResult r = broadcast(g, 5, opt);
+    EXPECT_TRUE(r.all_informed) << scheme_name(scheme);
+  }
+}
+
+TEST(CoreBroadcast, FourChoicePicksAlgorithm2ForLargeDegree) {
+  // d = 24 >= delta * loglog n: the factory must select Algorithm 2, whose
+  // runs contain pull rounds late (phase 3 tail) but no phase 4.
+  const Graph g = regular_graph_for(1024, 24, 5);
+  const SchemeParts parts = make_scheme(g, BroadcastOptions{});
+  EXPECT_STREQ(parts.protocol->name(), "four-choice/alg2");
+  EXPECT_EQ(parts.channel.num_choices, 4);
+}
+
+TEST(CoreBroadcast, FourChoicePicksAlgorithm1ForSmallDegree) {
+  const Graph g = regular_graph_for(1024, 6, 6);
+  const SchemeParts parts = make_scheme(g, BroadcastOptions{});
+  EXPECT_STREQ(parts.protocol->name(), "four-choice/alg1");
+}
+
+TEST(CoreBroadcast, SequentialisedSchemeGetsMemoryChannel) {
+  const Graph g = regular_graph_for(512, 8, 7);
+  BroadcastOptions opt;
+  opt.scheme = BroadcastScheme::kSequentialised;
+  const SchemeParts parts = make_scheme(g, opt);
+  EXPECT_EQ(parts.channel.num_choices, 1);
+  EXPECT_EQ(parts.channel.memory, 3);
+}
+
+TEST(CoreBroadcast, BaselinesGetOneChoiceChannel) {
+  const Graph g = regular_graph_for(512, 8, 8);
+  BroadcastOptions opt;
+  opt.scheme = BroadcastScheme::kPushPull;
+  const SchemeParts parts = make_scheme(g, opt);
+  EXPECT_EQ(parts.channel.num_choices, 1);
+  EXPECT_EQ(parts.channel.memory, 0);
+}
+
+TEST(CoreBroadcast, DeterministicGivenSeed) {
+  const Graph g = regular_graph_for(1024, 8, 9);
+  BroadcastOptions opt;
+  opt.seed = 1234;
+  const RunResult a = broadcast(g, 0, opt);
+  const RunResult b = broadcast(g, 0, opt);
+  EXPECT_EQ(a.total_tx(), b.total_tx());
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(CoreBroadcast, FailureProbIsForwarded) {
+  const Graph g = regular_graph_for(1024, 8, 10);
+  BroadcastOptions opt;
+  opt.failure_prob = 0.2;
+  opt.record_rounds = true;
+  const RunResult r = broadcast(g, 0, opt);
+  EXPECT_GT(r.channels_failed, 0U);
+  EXPECT_FALSE(r.per_round.empty());
+}
+
+TEST(CoreBroadcast, EstimateOverrideChangesHorizon) {
+  const Graph g = regular_graph_for(1024, 8, 11);
+  BroadcastOptions small;
+  small.n_estimate = 256;
+  BroadcastOptions large;
+  large.n_estimate = 1 << 16;
+  const RunResult rs = broadcast(g, 0, small);
+  const RunResult rl = broadcast(g, 0, large);
+  EXPECT_LT(rs.rounds, rl.rounds);
+  EXPECT_TRUE(rs.all_informed);
+  EXPECT_TRUE(rl.all_informed);
+}
+
+TEST(CoreBroadcast, Validation) {
+  const Graph g = regular_graph_for(64, 4, 12);
+  EXPECT_THROW((void)broadcast(g, 64), std::logic_error);
+  EXPECT_THROW((void)broadcast(Graph(1), 0), std::logic_error);
+}
+
+TEST(CoreBroadcast, SchemeNamesAreStable) {
+  EXPECT_STREQ(scheme_name(BroadcastScheme::kPush), "push");
+  EXPECT_STREQ(scheme_name(BroadcastScheme::kFourChoice), "four-choice");
+  EXPECT_STREQ(scheme_name(BroadcastScheme::kMedianCounter),
+               "median-counter");
+}
+
+}  // namespace
+}  // namespace rrb

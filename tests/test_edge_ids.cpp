@@ -1,0 +1,113 @@
+#include "rrb/phonecall/edge_ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rrb/graph/generators.hpp"
+
+namespace rrb {
+namespace {
+
+TEST(EdgeIds, TriangleHasThreeIds) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {0, 2}};
+  const Graph g = Graph::from_edges(3, edges);
+  const EdgeIdMap map = build_edge_id_map(g);
+  EXPECT_EQ(map.num_edges, 3U);
+  std::set<Count> ids;
+  for (NodeId v = 0; v < 3; ++v)
+    for (NodeId i = 0; i < g.degree(v); ++i) ids.insert(map.edge_of(v, i));
+  EXPECT_EQ(ids.size(), 3U);
+}
+
+TEST(EdgeIds, BothEndpointsSeeTheSameId) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}};
+  const Graph g = Graph::from_edges(3, edges);
+  const EdgeIdMap map = build_edge_id_map(g);
+  // Find the slot of 1 in 0's list and of 0 in 1's list.
+  auto slot_of = [&](NodeId v, NodeId target) -> NodeId {
+    for (NodeId i = 0; i < g.degree(v); ++i)
+      if (g.neighbor(v, i) == target) return i;
+    ADD_FAILURE() << "missing neighbour";
+    return 0;
+  };
+  EXPECT_EQ(map.edge_of(0, slot_of(0, 1)), map.edge_of(1, slot_of(1, 0)));
+  EXPECT_EQ(map.edge_of(1, slot_of(1, 2)), map.edge_of(2, slot_of(2, 1)));
+}
+
+TEST(EdgeIds, ParallelEdgesGetDistinctIds) {
+  const std::vector<Edge> edges{{0, 1}, {0, 1}};
+  const Graph g = Graph::from_edges(2, edges);
+  const EdgeIdMap map = build_edge_id_map(g);
+  EXPECT_EQ(map.num_edges, 2U);
+  EXPECT_NE(map.edge_of(0, 0), map.edge_of(0, 1));
+  // The multiset of ids matches on both sides.
+  std::multiset<Count> a{map.edge_of(0, 0), map.edge_of(0, 1)};
+  std::multiset<Count> b{map.edge_of(1, 0), map.edge_of(1, 1)};
+  EXPECT_EQ(a, b);
+}
+
+TEST(EdgeIds, SelfLoopSlotsShareOneId) {
+  const std::vector<Edge> edges{{0, 0}, {0, 1}};
+  const Graph g = Graph::from_edges(2, edges);
+  const EdgeIdMap map = build_edge_id_map(g);
+  EXPECT_EQ(map.num_edges, 2U);
+  ASSERT_EQ(g.degree(0), 3U);
+  // The two loop slots (neighbour == 0) share an id.
+  std::vector<Count> loop_ids;
+  for (NodeId i = 0; i < 3; ++i)
+    if (g.neighbor(0, i) == 0) loop_ids.push_back(map.edge_of(0, i));
+  ASSERT_EQ(loop_ids.size(), 2U);
+  EXPECT_EQ(loop_ids[0], loop_ids[1]);
+}
+
+TEST(EdgeIds, DoubleSelfLoopGetsTwoIds) {
+  const std::vector<Edge> edges{{0, 0}, {0, 0}};
+  const Graph g = Graph::from_edges(1, edges);
+  const EdgeIdMap map = build_edge_id_map(g);
+  EXPECT_EQ(map.num_edges, 2U);
+  std::multiset<Count> ids;
+  for (NodeId i = 0; i < 4; ++i) ids.insert(map.edge_of(0, i));
+  // Two ids, each appearing exactly twice.
+  EXPECT_EQ(ids.size(), 4U);
+  std::set<Count> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 2U);
+  for (const Count id : unique) EXPECT_EQ(ids.count(id), 2U);
+}
+
+TEST(EdgeIds, ConfigurationModelFullCoverage) {
+  Rng rng(1);
+  const Graph g = configuration_model(100, 6, rng);
+  const EdgeIdMap map = build_edge_id_map(g);
+  EXPECT_EQ(map.num_edges, g.num_edges());
+  // Every id in range, every id used exactly twice across all slots.
+  std::vector<int> uses(map.num_edges, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (NodeId i = 0; i < g.degree(v); ++i) {
+      const Count id = map.edge_of(v, i);
+      ASSERT_LT(id, map.num_edges);
+      ++uses[id];
+    }
+  for (const int u : uses) EXPECT_EQ(u, 2);
+}
+
+TEST(EdgeIds, IdsAreDense) {
+  Rng rng(2);
+  const Graph g = random_regular_simple(64, 4, rng);
+  const EdgeIdMap map = build_edge_id_map(g);
+  std::set<Count> ids;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (NodeId i = 0; i < g.degree(v); ++i) ids.insert(map.edge_of(v, i));
+  EXPECT_EQ(ids.size(), map.num_edges);
+  EXPECT_EQ(*ids.begin(), 0U);
+  EXPECT_EQ(*ids.rbegin(), map.num_edges - 1);
+}
+
+TEST(EdgeIds, EmptyGraph) {
+  const Graph g(3);
+  const EdgeIdMap map = build_edge_id_map(g);
+  EXPECT_EQ(map.num_edges, 0U);
+}
+
+}  // namespace
+}  // namespace rrb

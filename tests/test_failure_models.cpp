@@ -1,0 +1,249 @@
+#include "rrb/phonecall/failure_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rrb/graph/generators.hpp"
+#include "rrb/phonecall/engine.hpp"
+#include "rrb/protocols/baselines.hpp"
+#include "rrb/protocols/four_choice.hpp"
+#include "rrb/protocols/sequentialised.hpp"
+
+namespace rrb {
+namespace {
+
+TEST(FaultyNodes, ChannelsTouchingFaultyNodesFail) {
+  const FailurePredicate model = faulty_nodes({2, 5});
+  EXPECT_TRUE(model(1, 2, 0));
+  EXPECT_TRUE(model(1, 0, 2));
+  EXPECT_TRUE(model(9, 5, 2));
+  EXPECT_FALSE(model(1, 0, 1));
+  EXPECT_FALSE(model(1, 3, 4));
+}
+
+TEST(FaultyNodes, IsolateTheOnlyBridge) {
+  // Path 0-1-2 with node 1 faulty: the message can never cross.
+  const Graph g = path(3);
+  GraphTopology topo(g);
+  Rng rng(1);
+  PhoneCallEngine<GraphTopology> engine(topo, ChannelConfig{}, rng);
+  engine.set_failure_model(faulty_nodes({1}));
+  PushPullProtocol proto;
+  RunLimits limits;
+  limits.max_rounds = 200;
+  const RunResult r = engine.run(proto, NodeId{0}, limits);
+  EXPECT_FALSE(r.all_informed);
+  EXPECT_EQ(r.final_informed, 1U);
+}
+
+TEST(FaultyNodes, BroadcastRoutesAroundFaultyMinority) {
+  // 5% fail-stop nodes on a well-connected graph: all healthy nodes still
+  // get the message; the faulty ones cannot.
+  Rng grng(2);
+  const NodeId n = 2048;
+  const Graph g = random_regular_simple(n, 8, grng);
+  std::vector<NodeId> faulty;
+  for (NodeId v = 1; v < n; v += 20) faulty.push_back(v);  // ~5%, not source
+
+  GraphTopology topo(g);
+  Rng rng(3);
+  ChannelConfig cfg;
+  cfg.num_choices = 4;
+  PhoneCallEngine<GraphTopology> engine(topo, cfg, rng);
+  engine.set_failure_model(faulty_nodes(faulty));
+  FourChoiceConfig fc;
+  fc.n_estimate = n;
+  fc.alpha = 2.0;
+  FourChoiceBroadcast proto(fc);
+  const RunResult r = engine.run(proto, NodeId{0}, RunLimits{});
+
+  const auto informed = engine.informed_at();
+  std::unordered_set<NodeId> faulty_set(faulty.begin(), faulty.end());
+  Count healthy_missed = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (faulty_set.count(v) != 0) {
+      EXPECT_EQ(informed[v], kNever) << "faulty node informed: " << v;
+    } else if (informed[v] == kNever) {
+      ++healthy_missed;
+    }
+  }
+  EXPECT_EQ(healthy_missed, 0U);
+  EXPECT_FALSE(r.all_informed);  // the faulty nodes themselves are missing
+}
+
+TEST(BurstyOutage, PatternIsPeriodic) {
+  const FailurePredicate model = bursty_outage(/*period=*/5, /*burst=*/2);
+  // Rounds 1,2 fail; 3,4,5 work; 6,7 fail; ...
+  EXPECT_TRUE(model(1, 0, 1));
+  EXPECT_TRUE(model(2, 0, 1));
+  EXPECT_FALSE(model(3, 0, 1));
+  EXPECT_FALSE(model(5, 0, 1));
+  EXPECT_TRUE(model(6, 0, 1));
+  EXPECT_TRUE(model(7, 0, 1));
+  EXPECT_FALSE(model(8, 0, 1));
+}
+
+TEST(BurstyOutage, Validation) {
+  EXPECT_THROW((void)bursty_outage(0, 0), std::logic_error);
+  EXPECT_THROW((void)bursty_outage(3, 4), std::logic_error);
+  EXPECT_NO_THROW((void)bursty_outage(3, 0));
+}
+
+TEST(BurstyOutage, BroadcastStillCompletesBetweenBursts) {
+  Rng grng(4);
+  const NodeId n = 1024;
+  const Graph g = random_regular_simple(n, 8, grng);
+  GraphTopology topo(g);
+  Rng rng(5);
+  PhoneCallEngine<GraphTopology> engine(topo, ChannelConfig{}, rng);
+  engine.set_failure_model(bursty_outage(4, 1));  // 25% of rounds dark
+  PushPullProtocol proto;
+  RunLimits limits;
+  limits.max_rounds = 2000;
+  const RunResult r = engine.run(proto, NodeId{0}, limits);
+  EXPECT_TRUE(r.all_informed);
+}
+
+TEST(BurstyOutage, FullOutageBlocksEverything) {
+  Rng grng(6);
+  const Graph g = random_regular_simple(128, 6, grng);
+  GraphTopology topo(g);
+  Rng rng(7);
+  PhoneCallEngine<GraphTopology> engine(topo, ChannelConfig{}, rng);
+  engine.set_failure_model(bursty_outage(1, 1));  // every round dark
+  PushPullProtocol proto;
+  RunLimits limits;
+  limits.max_rounds = 100;
+  const RunResult r = engine.run(proto, NodeId{0}, limits);
+  EXPECT_EQ(r.final_informed, 1U);
+  EXPECT_EQ(r.channels_failed, r.channels_opened);
+}
+
+TEST(BlockedPairs, SymmetricAndSelective) {
+  const FailurePredicate model = blocked_pairs({{1, 2}, {3, 4}});
+  EXPECT_TRUE(model(1, 1, 2));
+  EXPECT_TRUE(model(1, 2, 1));
+  EXPECT_TRUE(model(1, 4, 3));
+  EXPECT_FALSE(model(1, 1, 3));
+  EXPECT_FALSE(model(1, 0, 2));
+}
+
+TEST(BlockedPairs, CutEdgesNeverCarryTheMessage) {
+  // Block a random set of pairs and verify, via the edge usage tracker,
+  // that none of those edges is ever used.
+  Rng grng(8);
+  const Graph g = random_regular_simple(256, 6, grng);
+  std::vector<std::pair<NodeId, NodeId>> cut;
+  for (const Edge& e : g.edge_list())
+    if ((e.u + e.v) % 7 == 0) cut.emplace_back(e.u, e.v);
+  ASSERT_FALSE(cut.empty());
+
+  const EdgeIdMap map = build_edge_id_map(g);
+  GraphTopology topo(g);
+  Rng rng(9);
+  PhoneCallEngine<GraphTopology> engine(topo, ChannelConfig{}, rng);
+  engine.enable_edge_usage_tracking(map);
+  engine.set_failure_model(blocked_pairs(cut));
+  PushPullProtocol proto;
+  RunLimits limits;
+  limits.max_rounds = 2000;
+  const RunResult r = engine.run(proto, NodeId{0}, limits);
+  EXPECT_TRUE(r.all_informed);  // plenty of redundancy remains
+
+  // Locate each cut pair's edge ids and assert unused.
+  for (const auto& [u, v] : cut) {
+    for (NodeId i = 0; i < g.degree(u); ++i) {
+      if (g.neighbor(u, i) == v) {
+        EXPECT_EQ(engine.edge_used()[map.edge_of(u, i)], 0)
+            << u << "-" << v;
+      }
+    }
+  }
+}
+
+TEST(RandomFailures, MatchesProbability) {
+  Rng frng(10);
+  const FailurePredicate model = random_failures(0.25, frng);
+  int failures = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i)
+    if (model(1, 0, 1)) ++failures;
+  EXPECT_NEAR(static_cast<double>(failures) / kDraws, 0.25, 0.02);
+  EXPECT_THROW((void)random_failures(1.5, frng), std::logic_error);
+}
+
+TEST(AnyOf, ComposesModels) {
+  Rng frng(11);
+  const FailurePredicate combo = any_of(
+      {faulty_nodes({7}), bursty_outage(10, 1)});
+  EXPECT_TRUE(combo(5, 7, 0));   // faulty node
+  EXPECT_TRUE(combo(1, 0, 1));   // burst round
+  EXPECT_FALSE(combo(5, 0, 1));  // healthy node, quiet round
+}
+
+TEST(AnyOf, EmptyNeverFails) {
+  const FailurePredicate combo = any_of({});
+  EXPECT_FALSE(combo(1, 0, 1));
+}
+
+TEST(BurstyOutage, SequentialisedVariantSurvivesWhereParallelCollapses) {
+  // Finding from bench E11: synchronised 1-in-4-round outages break the
+  // parallel Algorithm 1 (its push-once chain and single pull round can
+  // land wholly inside an outage) but barely dent the sequentialised
+  // variant, which spreads every logical round over four steps.
+  Rng grng(20);
+  const NodeId n = 4096;
+  const Graph g = random_regular_simple(n, 8, grng);
+  FourChoiceConfig fc;
+  fc.n_estimate = n;
+  fc.alpha = 2.0;
+
+  auto coverage_of = [&](bool sequentialised, std::uint64_t seed) {
+    GraphTopology topo(g);
+    Rng rng(seed);
+    ChannelConfig chan;
+    if (sequentialised) {
+      chan.num_choices = 1;
+      chan.memory = 3;
+    } else {
+      chan.num_choices = 4;
+    }
+    PhoneCallEngine<GraphTopology> engine(topo, chan, rng);
+    engine.set_failure_model(bursty_outage(4, 1));
+    FourChoiceBroadcast parallel(fc);
+    SequentialisedFourChoice sequential(fc);
+    BroadcastProtocol& proto =
+        sequentialised ? static_cast<BroadcastProtocol&>(sequential)
+                       : static_cast<BroadcastProtocol&>(parallel);
+    const RunResult r = engine.run(proto, NodeId{0}, RunLimits{});
+    return static_cast<double>(r.final_informed) / static_cast<double>(n);
+  };
+
+  const double parallel_cov = coverage_of(false, 21);
+  const double sequential_cov = coverage_of(true, 22);
+  EXPECT_LT(parallel_cov, 0.9);
+  EXPECT_GT(sequential_cov, 0.99);
+}
+
+TEST(FailureModels, ComposeWithBuiltInProbability) {
+  // Both mechanisms active: measured failure rate ≈ 1-(1-p)(1-q) for
+  // independent models (p built-in, q predicate).
+  Rng grng(12);
+  const Graph g = complete(64);
+  GraphTopology topo(g);
+  Rng rng(13);
+  ChannelConfig cfg;
+  cfg.failure_prob = 0.2;
+  PhoneCallEngine<GraphTopology> engine(topo, cfg, rng);
+  Rng frng(14);
+  engine.set_failure_model(random_failures(0.25, frng));
+  PushPullProtocol proto;
+  RunLimits limits;
+  limits.max_rounds = 300;
+  const RunResult r = engine.run(proto, NodeId{0}, limits);
+  const double rate = static_cast<double>(r.channels_failed) /
+                      static_cast<double>(r.channels_opened);
+  EXPECT_NEAR(rate, 1.0 - 0.8 * 0.75, 0.05);
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,106 @@
+#include "rrb/analysis/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rrb {
+namespace {
+
+TEST(Proportional, ExactLineThroughOrigin) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  const ProportionalFit fit = fit_proportional(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Proportional, NoisyDataStillRecoversSlope) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + ((i % 2 == 0) ? 0.5 : -0.5));
+  }
+  const ProportionalFit fit = fit_proportional(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 0.01);
+  EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(Proportional, SizeMismatchThrows) {
+  const std::vector<double> xs{1, 2};
+  const std::vector<double> ys{1};
+  EXPECT_THROW((void)fit_proportional(xs, ys), std::logic_error);
+}
+
+TEST(Proportional, AllZeroXThrows) {
+  const std::vector<double> xs{0, 0};
+  const std::vector<double> ys{1, 2};
+  EXPECT_THROW((void)fit_proportional(xs, ys), std::logic_error);
+}
+
+TEST(Affine, ExactLine) {
+  const std::vector<double> xs{0, 1, 2, 3};
+  const std::vector<double> ys{5, 7, 9, 11};
+  const AffineFit fit = fit_affine(xs, ys);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Affine, ConstantDataHasZeroSlope) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{4, 4, 4};
+  const AffineFit fit = fit_affine(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);  // zero residual on zero-variance data
+}
+
+TEST(Affine, DegenerateXThrows) {
+  const std::vector<double> xs{2, 2};
+  const std::vector<double> ys{1, 3};
+  EXPECT_THROW((void)fit_affine(xs, ys), std::logic_error);
+}
+
+TEST(Power, RecoversExponent) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(5.0 * std::pow(i, 1.7));
+  }
+  const PowerFit fit = fit_power(xs, ys);
+  EXPECT_NEAR(fit.exponent, 1.7, 1e-9);
+  EXPECT_NEAR(fit.coefficient, 5.0, 1e-6);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Power, RejectsNonPositiveData) {
+  const std::vector<double> xs{1, 2};
+  const std::vector<double> ys{1, 0};
+  EXPECT_THROW((void)fit_power(xs, ys), std::logic_error);
+}
+
+TEST(MeanRatio, GeometricGrowthRecovered) {
+  const std::vector<double> ys{1, 2, 4, 8, 16};
+  EXPECT_NEAR(mean_consecutive_ratio(ys), 2.0, 1e-12);
+}
+
+TEST(MeanRatio, DecayRecovered) {
+  const std::vector<double> ys{100, 50, 25, 12.5};
+  EXPECT_NEAR(mean_consecutive_ratio(ys), 0.5, 1e-12);
+}
+
+TEST(MeanRatio, SkipsZeroes) {
+  const std::vector<double> ys{1, 0, 4, 8};
+  // Only the (4, 8) pair is usable.
+  EXPECT_NEAR(mean_consecutive_ratio(ys), 2.0, 1e-12);
+}
+
+TEST(MeanRatio, EmptyOrSingletonIsZero) {
+  EXPECT_DOUBLE_EQ(mean_consecutive_ratio(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_consecutive_ratio(std::vector<double>{5.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,170 @@
+#include "rrb/graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rrb {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g(5);
+  EXPECT_EQ(g.num_nodes(), 5U);
+  EXPECT_EQ(g.num_edges(), 0U);
+  EXPECT_EQ(g.degree(3), 0U);
+  EXPECT_TRUE(g.is_simple());
+}
+
+TEST(Graph, SingleEdgeAppearsInBothAdjacencies) {
+  const std::vector<Edge> edges{{0, 1}};
+  const Graph g = Graph::from_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1U);
+  EXPECT_EQ(g.degree(0), 1U);
+  EXPECT_EQ(g.degree(1), 1U);
+  EXPECT_EQ(g.neighbor(0, 0), 1U);
+  EXPECT_EQ(g.neighbor(1, 0), 0U);
+}
+
+TEST(Graph, TriangleStructure) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {0, 2}};
+  const Graph g = Graph::from_edges(3, edges);
+  EXPECT_EQ(g.num_edges(), 3U);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2U);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.is_simple());
+  EXPECT_EQ(g.regular_degree(), std::optional<NodeId>{2});
+}
+
+TEST(Graph, SelfLoopCountsTwiceInDegree) {
+  const std::vector<Edge> edges{{0, 0}};
+  const Graph g = Graph::from_edges(1, edges);
+  EXPECT_EQ(g.degree(0), 2U);         // a loop consumes two stubs
+  EXPECT_EQ(g.num_edges(), 1U);
+  EXPECT_EQ(g.num_self_loops(), 1U);
+  EXPECT_FALSE(g.is_simple());
+  EXPECT_EQ(g.edge_multiplicity(0, 0), 1U);
+}
+
+TEST(Graph, ParallelEdgesKeptWithMultiplicity) {
+  const std::vector<Edge> edges{{0, 1}, {0, 1}, {1, 0}};
+  const Graph g = Graph::from_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 3U);
+  EXPECT_EQ(g.degree(0), 3U);
+  EXPECT_EQ(g.edge_multiplicity(0, 1), 3U);
+  EXPECT_EQ(g.num_parallel_extra(), 2U);
+  EXPECT_FALSE(g.is_simple());
+}
+
+TEST(Graph, MixedLoopsAndParallel) {
+  const std::vector<Edge> edges{{0, 0}, {0, 0}, {0, 1}};
+  const Graph g = Graph::from_edges(2, edges);
+  EXPECT_EQ(g.degree(0), 5U);  // 2+2 loop stubs + 1
+  EXPECT_EQ(g.num_self_loops(), 2U);
+  EXPECT_EQ(g.edge_multiplicity(0, 0), 2U);
+  EXPECT_EQ(g.num_parallel_extra(), 1U);  // the second loop is "parallel"
+}
+
+TEST(Graph, HasEdgeNegative) {
+  const std::vector<Edge> edges{{0, 1}};
+  const Graph g = Graph::from_edges(3, edges);
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(2, 1));
+  EXPECT_EQ(g.edge_multiplicity(0, 2), 0U);
+}
+
+TEST(Graph, AdjacencyIsSorted) {
+  const std::vector<Edge> edges{{0, 3}, {0, 1}, {0, 2}};
+  const Graph g = Graph::from_edges(4, edges);
+  const auto adj = g.neighbors(0);
+  ASSERT_EQ(adj.size(), 3U);
+  EXPECT_TRUE(adj[0] <= adj[1] && adj[1] <= adj[2]);
+}
+
+TEST(Graph, OutOfRangeAccessThrows) {
+  Graph g(2);
+  EXPECT_THROW((void)g.degree(2), std::logic_error);
+  EXPECT_THROW((void)g.neighbors(5), std::logic_error);
+  EXPECT_THROW((void)g.neighbor(0, 0), std::logic_error);
+}
+
+TEST(Graph, FromEdgesRejectsBadEndpoints) {
+  const std::vector<Edge> edges{{0, 7}};
+  EXPECT_THROW((void)Graph::from_edges(3, edges), std::logic_error);
+}
+
+TEST(Graph, RegularDegreeDetectsIrregular) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}};
+  const Graph g = Graph::from_edges(3, edges);
+  EXPECT_FALSE(g.regular_degree().has_value());
+}
+
+TEST(Graph, MinMaxDegree) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {1, 3}};
+  const Graph g = Graph::from_edges(4, edges);
+  EXPECT_EQ(g.min_degree(), 1U);
+  EXPECT_EQ(g.max_degree(), 3U);
+}
+
+TEST(Graph, EdgeListRoundTripsSimpleGraph) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {0, 2}, {2, 3}};
+  const Graph g = Graph::from_edges(4, edges);
+  const auto list = g.edge_list();
+  ASSERT_EQ(list.size(), 4U);
+  const Graph g2 = Graph::from_edges(4, list);
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(g2.degree(v), g.degree(v));
+}
+
+TEST(Graph, EdgeListPreservesMultiplicityAndLoops) {
+  const std::vector<Edge> edges{{0, 1}, {0, 1}, {2, 2}};
+  const Graph g = Graph::from_edges(3, edges);
+  const auto list = g.edge_list();
+  ASSERT_EQ(list.size(), 3U);
+  const Graph g2 = Graph::from_edges(3, list);
+  EXPECT_EQ(g2.edge_multiplicity(0, 1), 2U);
+  EXPECT_EQ(g2.edge_multiplicity(2, 2), 1U);
+}
+
+TEST(Graph, EdgeListCanonicalOrientation) {
+  const std::vector<Edge> edges{{3, 1}, {2, 0}};
+  const Graph g = Graph::from_edges(4, edges);
+  for (const Edge& e : g.edge_list()) EXPECT_LE(e.u, e.v);
+}
+
+TEST(GraphBuilder, BuildMatchesFromEdges) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  EXPECT_EQ(b.num_edges(), 2U);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 2U);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(GraphBuilder, RejectsOutOfRange) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), std::logic_error);
+}
+
+TEST(Graph, HandshakeLemmaHolds) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}};
+  const Graph g = Graph::from_edges(4, edges);
+  Count degree_sum = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) degree_sum += g.degree(v);
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+}
+
+TEST(Graph, HandshakeLemmaWithLoopsAndParallels) {
+  const std::vector<Edge> edges{{0, 0}, {0, 1}, {0, 1}, {1, 1}};
+  const Graph g = Graph::from_edges(2, edges);
+  Count degree_sum = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) degree_sum += g.degree(v);
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,104 @@
+#include "rrb/analysis/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rrb {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.9);   // bin 4
+  EXPECT_EQ(h.count(0), 1U);
+  EXPECT_EQ(h.count(1), 1U);
+  EXPECT_EQ(h.count(4), 1U);
+  EXPECT_EQ(h.count(2), 0U);
+  EXPECT_EQ(h.total(), 3U);
+}
+
+TEST(Histogram, ClampsOutOfRangeToEndBins) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.count(0), 1U);
+  EXPECT_EQ(h.count(1), 1U);
+}
+
+TEST(Histogram, BoundaryValueGoesToUpperBin) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(2.0);  // exactly on the bin-0/bin-1 edge -> bin 1
+  EXPECT_EQ(h.count(1), 1U);
+}
+
+TEST(Histogram, TopOfRangeStaysInLastBin) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(10.0);
+  EXPECT_EQ(h.count(4), 1U);
+}
+
+TEST(Histogram, BinBoundsPartitionRange) {
+  Histogram h(2.0, 12.0, 4);
+  double prev_hi = 2.0;
+  for (std::size_t b = 0; b < h.num_bins(); ++b) {
+    const auto [lo, hi] = h.bin_bounds(b);
+    EXPECT_DOUBLE_EQ(lo, prev_hi);
+    EXPECT_GT(hi, lo);
+    prev_hi = hi;
+  }
+  EXPECT_DOUBLE_EQ(prev_hi, 12.0);
+}
+
+TEST(Histogram, AddAllAndRendering) {
+  Histogram h(0.0, 4.0, 4);
+  const std::vector<double> values{0.5, 1.5, 1.6, 2.5};
+  h.add_all(values);
+  EXPECT_EQ(h.total(), 4U);
+  const std::string s = h.to_string(10);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::logic_error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::logic_error);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.count(2), std::logic_error);
+  EXPECT_THROW((void)h.bin_bounds(5), std::logic_error);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  const std::vector<double> v{3.0, 1.0, 2.0, 5.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, InterpolatesBetweenPoints) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.75), 7.5);
+}
+
+TEST(Quantile, SingletonAndValidation) {
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(quantile(one, 0.3), 7.0);
+  EXPECT_THROW((void)quantile(std::vector<double>{}, 0.5), std::logic_error);
+  EXPECT_THROW((void)quantile(one, 1.5), std::logic_error);
+}
+
+TEST(Confidence, HalfWidthShrinksWithSampleSize) {
+  const double w10 = confidence95_halfwidth(2.0, 10);
+  const double w1000 = confidence95_halfwidth(2.0, 1000);
+  EXPECT_GT(w10, w1000);
+  EXPECT_NEAR(w10 / w1000, 10.0, 1e-9);  // sqrt(1000/10)
+}
+
+TEST(Confidence, KnownValue) {
+  EXPECT_NEAR(confidence95_halfwidth(1.0, 4), 1.96 / 2.0, 1e-12);
+  EXPECT_THROW((void)confidence95_halfwidth(1.0, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,274 @@
+/// Cross-module integration tests: each one checks a claim of the paper
+/// end-to-end at a small scale (graph generation -> engine -> protocol ->
+/// measurement), mirroring the full-size experiments in bench/.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rrb/analysis/fit.hpp"
+#include "rrb/graph/generators.hpp"
+#include "rrb/p2p/churn.hpp"
+#include "rrb/p2p/replicated_db.hpp"
+#include "rrb/phonecall/engine.hpp"
+#include "rrb/protocols/baselines.hpp"
+#include "rrb/protocols/four_choice.hpp"
+#include "rrb/protocols/median_counter.hpp"
+#include "rrb/sim/trace.hpp"
+#include "rrb/sim/trial.hpp"
+
+namespace rrb {
+namespace {
+
+TEST(Integration, FourChoiceTxGrowsSlowerThanPushTx) {
+  // Theorem 2 vs the push baseline: between n = 2^10 and 2^15, push's
+  // per-node transmissions grow by ~ the log n ratio (1.5x) while the
+  // four-choice algorithm's grow by ~ the log log n ratio (~1.16x).
+  auto measure = [](NodeId n, bool four_choice, std::uint64_t seed) {
+    TrialConfig cfg;
+    cfg.trials = 2;
+    cfg.seed = seed;
+    cfg.channel.num_choices = four_choice ? 4 : 1;
+    const TrialOutcome out = run_trials(
+        [n](Rng& rng) { return random_regular_simple(n, 8, rng); },
+        [n, four_choice](const Graph&) -> std::unique_ptr<BroadcastProtocol> {
+          if (four_choice) {
+            FourChoiceConfig fc;
+            fc.n_estimate = n;
+            return std::make_unique<FourChoiceBroadcast>(fc);
+          }
+          return std::make_unique<PushProtocol>();
+        },
+        cfg);
+    EXPECT_DOUBLE_EQ(out.completion_rate, 1.0);
+    return out.tx_per_node.mean;
+  };
+  const double push_growth =
+      measure(1 << 15, false, 11) / measure(1 << 10, false, 12);
+  const double fc_growth =
+      measure(1 << 15, true, 13) / measure(1 << 10, true, 14);
+  EXPECT_LT(fc_growth, push_growth);
+  EXPECT_LT(fc_growth, 1.35);
+  EXPECT_GT(push_growth, 1.25);
+}
+
+TEST(Integration, SingleChoiceTransmissionsDropWithDegree) {
+  // Theorem 1's shape: the Ω(n log n / log d) bound predicts that, at a
+  // fixed O(log n) horizon, completing with the classical one-choice
+  // push&pull gets cheaper as d grows.
+  auto tx_at_degree = [](NodeId d, std::uint64_t seed) {
+    const NodeId n = 4096;
+    TrialConfig cfg;
+    cfg.trials = 3;
+    cfg.seed = seed;
+    const TrialOutcome out = run_trials(
+        [n, d](Rng& rng) { return random_regular_simple(n, d, rng); },
+        [](const Graph&) { return std::make_unique<PushPullProtocol>(); },
+        cfg);
+    EXPECT_DOUBLE_EQ(out.completion_rate, 1.0);
+    return out.total_tx.mean;
+  };
+  const double tx_sparse = tx_at_degree(4, 21);
+  const double tx_dense = tx_at_degree(64, 22);
+  EXPECT_GT(tx_sparse, tx_dense);
+}
+
+TEST(Integration, Phase1NewlyInformedGrowsGeometrically) {
+  // Lemmas 1–2: |I+(t+1)| >= c|I+(t)| with c ~ 2-3 early in phase 1.
+  const NodeId n = 1 << 14;
+  TraceConfig cfg;
+  cfg.trials = 3;
+  cfg.seed = 31;
+  cfg.channel.num_choices = 4;
+  cfg.track_h_sets = false;
+  const auto trace = trace_set_sizes(
+      [n](Rng& rng) { return random_regular_simple(n, 8, rng); },
+      [n](const Graph&) {
+        FourChoiceConfig fc;
+        fc.n_estimate = n;
+        return std::make_unique<FourChoiceBroadcast>(fc);
+      },
+      cfg);
+  // Rounds 2..6 are deep inside the doubling regime at this size.
+  std::vector<double> newly;
+  for (int t = 1; t <= 5 && t < static_cast<int>(trace.size()); ++t)
+    newly.push_back(trace[static_cast<std::size_t>(t)].newly_informed);
+  const double growth = mean_consecutive_ratio(newly);
+  EXPECT_GT(growth, 1.8);
+  EXPECT_LT(growth, 4.01);  // can never exceed the 4 channels per node
+}
+
+TEST(Integration, Phase2UninformedDecaysByConstantFactor) {
+  // Lemma 3: h(t+1) <= h(t)/c during phase 2.
+  const NodeId n = 1 << 14;
+  FourChoiceConfig fc;
+  fc.n_estimate = n;
+  const PhaseSchedule sched = make_schedule_small_d(fc);
+  TraceConfig cfg;
+  cfg.trials = 3;
+  cfg.seed = 32;
+  cfg.channel.num_choices = 4;
+  cfg.track_h_sets = false;
+  const auto trace = trace_set_sizes(
+      [n](Rng& rng) { return random_regular_simple(n, 8, rng); },
+      [&fc](const Graph&) {
+        return std::make_unique<FourChoiceBroadcast>(fc);
+      },
+      cfg);
+  std::vector<double> h;
+  for (Round t = sched.phase1_end; t <= sched.phase2_end; ++t) {
+    const auto idx = static_cast<std::size_t>(t - 1);
+    if (idx < trace.size()) h.push_back(trace[idx].uninformed);
+  }
+  ASSERT_GE(h.size(), 3U);
+  const double decay = mean_consecutive_ratio(h);
+  EXPECT_LT(decay, 0.8);
+}
+
+TEST(Integration, PullRoundLeavesOnlyH4Nodes) {
+  // §4.3.2: after the single pull round of Phase 3, every node with fewer
+  // than four uninformed neighbours is informed — H(t+1) ⊆ H4(t), exactly.
+  const NodeId n = 1 << 13;
+  Rng grng(33);
+  const Graph g = random_regular_simple(n, 8, grng);
+  FourChoiceConfig fc;
+  fc.n_estimate = n;
+  FourChoiceBroadcast alg(fc);
+  const Round pull_round = alg.schedule().phase3_end;
+
+  std::vector<Round> before;  // informed_at after phase 2
+  std::vector<Round> after;   // informed_at after phase 3
+  GraphTopology topo(g);
+  Rng rng(34);
+  ChannelConfig chan;
+  chan.num_choices = 4;
+  PhoneCallEngine<GraphTopology> engine(topo, chan, rng);
+  engine.set_round_observer([&](Round t, std::span<const Round> informed) {
+    if (t == pull_round - 1) before.assign(informed.begin(), informed.end());
+    if (t == pull_round) after.assign(informed.begin(), informed.end());
+  });
+  (void)engine.run(alg, NodeId{0}, RunLimits{});
+  ASSERT_EQ(before.size(), n);
+  ASSERT_EQ(after.size(), n);
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (after[v] != kNever) continue;  // informed
+    ASSERT_EQ(before[v], kNever);      // monotone
+    NodeId uninformed_neighbours = 0;
+    for (const NodeId w : g.neighbors(v))
+      if (before[w] == kNever) ++uninformed_neighbours;
+    EXPECT_GE(uninformed_neighbours, 4U)
+        << "node " << v << " should have been pulled";
+  }
+}
+
+TEST(Integration, MedianCounterMatchesFourChoiceTxScale) {
+  // Both O(n log log n) mechanisms (Karp's counter on K_n, the four-choice
+  // algorithm on G(n,d)) land within a small constant factor of each other
+  // in per-node transmissions.
+  const NodeId n = 4096;
+  MedianCounterConfig mc;
+  mc.n_estimate = n;
+  MedianCounterProtocol karp(mc);
+  const Graph kn = complete(n);
+  GraphTopology ktopo(kn);
+  Rng krng(35);
+  PhoneCallEngine<GraphTopology> kengine(ktopo, ChannelConfig{}, krng);
+  const RunResult karp_run = kengine.run(karp, NodeId{0}, RunLimits{});
+  ASSERT_TRUE(karp_run.all_informed);
+
+  Rng grng(36);
+  const Graph g = random_regular_simple(n, 8, grng);
+  FourChoiceConfig fc;
+  fc.n_estimate = n;
+  FourChoiceBroadcast alg(fc);
+  GraphTopology gtopo(g);
+  Rng rng(37);
+  ChannelConfig chan;
+  chan.num_choices = 4;
+  PhoneCallEngine<GraphTopology> engine(gtopo, chan, rng);
+  const RunResult fc_run = engine.run(alg, NodeId{0}, RunLimits{});
+  ASSERT_TRUE(fc_run.all_informed);
+
+  const double ratio = fc_run.tx_per_node() / karp_run.tx_per_node();
+  EXPECT_GT(ratio, 0.2);
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(Integration, FourChoiceCompletesOnProductGraph) {
+  // §5's counterexample G(n,d) x K5 concerns transmission *optimality*;
+  // completion still holds (the product is still an expander).
+  Rng grng(38);
+  const Graph g = random_regular_simple(512, 6, grng);
+  const Graph prod = cartesian_product(g, complete(5));
+  FourChoiceConfig fc;
+  fc.n_estimate = prod.num_nodes();
+  fc.alpha = 2.0;
+  FourChoiceBroadcast alg(fc);
+  GraphTopology topo(prod);
+  Rng rng(39);
+  ChannelConfig chan;
+  chan.num_choices = 4;
+  PhoneCallEngine<GraphTopology> engine(topo, chan, rng);
+  const RunResult r = engine.run(alg, NodeId{0}, RunLimits{});
+  EXPECT_TRUE(r.all_informed);
+}
+
+TEST(Integration, OverlaySnapshotFeedsReplicatedDb) {
+  // P2P pipeline: churned overlay -> snapshot -> replicated database
+  // convergence over the snapshot.
+  Rng rng(40);
+  DynamicOverlay overlay(600, 512, 8, rng);
+  ChurnConfig ccfg;
+  ccfg.joins_per_round = 1.0;
+  ccfg.leaves_per_round = 1.0;
+  ChurnDriver driver(overlay, ccfg, rng);
+  for (Round t = 1; t <= 50; ++t) driver.apply(t);
+
+  // Compact the alive nodes into a dense graph for the DB layer.
+  const Graph snap = overlay.snapshot();
+  std::vector<NodeId> dense_id(snap.num_nodes(), kNoNode);
+  NodeId next = 0;
+  for (NodeId v = 0; v < snap.num_nodes(); ++v)
+    if (overlay.is_alive(v)) dense_id[v] = next++;
+  GraphBuilder builder(next);
+  for (const Edge& e : snap.edge_list())
+    builder.add_edge(dense_id[e.u], dense_id[e.v]);
+  const Graph db_graph = builder.build();
+
+  ReplicatedDb db(db_graph, ReplicatedDbConfig{});
+  db.put(0, "epoch", "42");
+  EXPECT_TRUE(db.run_to_convergence(400));
+}
+
+TEST(Integration, RoundsScaleLogarithmicallyAcrossSizes) {
+  // Theorem 2: O(log n) rounds. The protocol horizon is by construction
+  // Θ(log n); verify completion happens within it across sizes and that
+  // completion rounds fit a * log n with a decent R².
+  std::vector<double> log_ns;
+  std::vector<double> rounds;
+  for (const NodeId n : {1024U, 4096U, 16384U}) {
+    TrialConfig cfg;
+    cfg.trials = 2;
+    cfg.seed = 41 + n;
+    cfg.channel.num_choices = 4;
+    const TrialOutcome out = run_trials(
+        [n](Rng& rng) { return random_regular_simple(n, 8, rng); },
+        [n](const Graph&) {
+          FourChoiceConfig fc;
+          fc.n_estimate = n;
+          return std::make_unique<FourChoiceBroadcast>(fc);
+        },
+        cfg);
+    EXPECT_DOUBLE_EQ(out.completion_rate, 1.0);
+    log_ns.push_back(std::log2(static_cast<double>(n)));
+    rounds.push_back(out.completion_round.mean);
+  }
+  const ProportionalFit fit = fit_proportional(log_ns, rounds);
+  EXPECT_GT(fit.r2, 0.9);
+  EXPECT_GT(fit.slope, 0.5);
+  EXPECT_LT(fit.slope, 4.0);
+}
+
+}  // namespace
+}  // namespace rrb

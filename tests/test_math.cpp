@@ -1,0 +1,86 @@
+#include "rrb/common/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rrb {
+namespace {
+
+TEST(LogN, MatchesStdLogForLargeN) {
+  EXPECT_DOUBLE_EQ(log_n(1000), std::log(1000.0));
+  EXPECT_DOUBLE_EQ(log_n(1 << 20), std::log(static_cast<double>(1 << 20)));
+}
+
+TEST(LogN, ClampedAtSmallN) {
+  EXPECT_GT(log_n(1), 0.0);
+  EXPECT_DOUBLE_EQ(log_n(1), std::log(2.0));
+}
+
+TEST(LogN, RejectsZero) { EXPECT_THROW((void)log_n(0), std::logic_error); }
+
+TEST(LogLogN, PositiveEverywhere) {
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 4ULL, 16ULL, 1ULL << 30})
+    EXPECT_GT(log_log_n(n), 0.0) << n;
+}
+
+TEST(LogLogN, MatchesCompositionForLargeN) {
+  EXPECT_DOUBLE_EQ(log_log_n(1 << 20), std::log(std::log(1048576.0)));
+}
+
+TEST(CeilLog2, ExactOnPowersOfTwo) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(1024), 10);
+}
+
+TEST(CeilLog2, RoundsUpOffPowers) {
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(FloorLog2, ExactAndRoundsDown) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(floor_log2(2047), 10);
+}
+
+TEST(PowersOfTwo, Detection) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(1ULL << 40));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(6));
+}
+
+TEST(CeilDiv, BasicCases) {
+  EXPECT_EQ(ceil_div(10, 5), 2U);
+  EXPECT_EQ(ceil_div(11, 5), 3U);
+  EXPECT_EQ(ceil_div(0, 5), 0U);
+  EXPECT_THROW((void)ceil_div(1, 0), std::logic_error);
+}
+
+TEST(PushConstant, MatchesPaperFormula) {
+  // C_d = 1/ln(2(1-1/d)) - 1/(d ln(1-1/d)); spot check d = 8.
+  const double expected =
+      1.0 / std::log(2.0 * (1.0 - 1.0 / 8.0)) -
+      1.0 / (8.0 * std::log(1.0 - 1.0 / 8.0));
+  EXPECT_DOUBLE_EQ(push_constant_cd(8), expected);
+}
+
+TEST(PushConstant, DecreasesTowardsCompleteGraphLimit) {
+  // As d grows, C_d approaches 1/ln 2 + 1 ≈ 2.443 (complete-graph push).
+  const double limit = 1.0 / std::log(2.0) + 1.0;
+  EXPECT_GT(push_constant_cd(3), push_constant_cd(100));
+  EXPECT_NEAR(push_constant_cd(100000), limit, 1e-3);
+}
+
+TEST(PushConstant, RejectsTinyDegrees) {
+  EXPECT_THROW((void)push_constant_cd(2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,182 @@
+#include "rrb/protocols/median_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rrb/graph/generators.hpp"
+#include "rrb/phonecall/engine.hpp"
+
+namespace rrb {
+namespace {
+
+MedianCounterConfig config_for(std::uint64_t n) {
+  MedianCounterConfig cfg;
+  cfg.n_estimate = n;
+  return cfg;
+}
+
+RunResult run_mc(const Graph& g, std::uint64_t seed,
+                 MedianCounterConfig cfg) {
+  MedianCounterProtocol proto(cfg);
+  GraphTopology topo(g);
+  Rng rng(seed);
+  PhoneCallEngine<GraphTopology> engine(topo, ChannelConfig{}, rng);
+  return engine.run(proto, NodeId{0}, RunLimits{});
+}
+
+TEST(MedianCounter, ParametersScaleWithN) {
+  MedianCounterProtocol small(config_for(1 << 10));
+  MedianCounterProtocol large(config_for(1 << 20));
+  EXPECT_GE(large.ctr_max(), small.ctr_max());
+  EXPECT_GT(large.max_age(), small.max_age());
+  EXPECT_GE(small.ctr_max(), 3);
+}
+
+TEST(MedianCounter, RejectsTinyEstimate) {
+  MedianCounterConfig cfg;
+  cfg.n_estimate = 1;
+  EXPECT_THROW(MedianCounterProtocol{cfg}, std::logic_error);
+}
+
+TEST(MedianCounter, SelfTerminatesOnCompleteGraph) {
+  const Graph g = complete(1024);
+  const RunResult r = run_mc(g, 1, config_for(1024));
+  EXPECT_TRUE(r.all_informed);
+  // Terminates on its own well before the engine's default cap.
+  EXPECT_LT(r.rounds, 200);
+}
+
+TEST(MedianCounter, RoundsAreLogScaleOnCompleteGraph) {
+  // Karp et al.: log3 n + O(log log n) rounds to inform everyone.
+  const NodeId n = 4096;
+  const Graph g = complete(n);
+  const RunResult r = run_mc(g, 2, config_for(n));
+  ASSERT_TRUE(r.all_informed);
+  const double expected = std::log(n) / std::log(3.0);
+  EXPECT_GT(static_cast<double>(r.completion_round), 0.6 * expected);
+  EXPECT_LT(static_cast<double>(r.completion_round), 3.0 * expected);
+}
+
+TEST(MedianCounter, TransmissionsAreNLogLogScaleOnCompleteGraph) {
+  // The whole point of the counter: O(n log log n) transmissions. At
+  // laptop scale the honest check is twofold: (a) per-node transmissions
+  // stay within a small multiple of log log n, and (b) they grow far more
+  // slowly than log n when n is scaled 64x.
+  auto per_node_at = [](NodeId n, std::uint64_t seed) {
+    const Graph g = complete(n);
+    const RunResult r = run_mc(g, seed, config_for(n));
+    EXPECT_TRUE(r.all_informed);
+    return r.tx_per_node();
+  };
+  const double small = per_node_at(1 << 8, 3);
+  const double large = per_node_at(1 << 14, 4);
+  const double lglg_large = std::log2(14.0);
+  EXPECT_LT(large, 8.0 * lglg_large);       // small multiple of log log n
+  EXPECT_LT(large / small, 1.4);            // log n ratio would be 1.75
+  EXPECT_GT(large, 1.0);
+}
+
+TEST(MedianCounter, StopsEvenIfIsolated) {
+  // A graph where the broadcast cannot spread (single node): protocol must
+  // still terminate via quiescence/deadline.
+  const std::vector<Edge> no_edges;
+  const Graph g = Graph::from_edges(1, no_edges);
+  MedianCounterProtocol proto(config_for(16));
+  GraphTopology topo(g);
+  Rng rng(4);
+  PhoneCallEngine<GraphTopology> engine(topo, ChannelConfig{}, rng);
+  RunLimits limits;
+  limits.max_rounds = 10000;
+  const RunResult r = engine.run(proto, NodeId{0}, limits);
+  EXPECT_LT(r.rounds, 10000);  // did not hit the cap
+}
+
+TEST(MedianCounter, WorksOnRandomRegular) {
+  Rng grng(5);
+  const NodeId n = 2048;
+  const Graph g = random_regular_simple(n, 16, grng);
+  const RunResult r = run_mc(g, 6, config_for(n));
+  EXPECT_TRUE(r.all_informed);
+}
+
+TEST(MedianCounter, UsesBothDirections) {
+  const Graph g = complete(256);
+  const RunResult r = run_mc(g, 7, config_for(256));
+  EXPECT_GT(r.push_tx, 0U);
+  EXPECT_GT(r.pull_tx, 0U);
+}
+
+TEST(MedianCounter, DeadlineBoundsRunLength) {
+  // Even on a hostile topology (long path: pull/push crawl), the protocol
+  // stops within max_age + final_rounds of the last activation.
+  const Graph g = path(64);
+  MedianCounterProtocol proto(config_for(64));
+  GraphTopology topo(g);
+  Rng rng(8);
+  PhoneCallEngine<GraphTopology> engine(topo, ChannelConfig{}, rng);
+  RunLimits limits;
+  limits.max_rounds = 100000;
+  const RunResult r = engine.run(proto, NodeId{0}, limits);
+  // Path broadcast advances >= 1 hop per ~constant rounds; the deadline
+  // guarantees every node stops at most max_age + final_rounds after its
+  // own activation, so the whole run is O(n + max_age).
+  EXPECT_LT(r.rounds, 64 * 8 + proto.max_age() + proto.final_rounds() + 4);
+}
+
+TEST(MedianCounter, StampCarriesCounter) {
+  MedianCounterProtocol proto(config_for(256));
+  proto.reset(4);
+  MessageMeta meta;
+  meta.counter = 5;
+  proto.on_receive(2, meta, 1, /*first_time=*/true);
+  // A freshly informed node has ctr = 1 and stamps it.
+  EXPECT_EQ(proto.stamp(2, 2).counter, 1);
+  // An uninformed node stamps 0 (it never transmits anyway).
+  EXPECT_EQ(proto.stamp(3, 2).counter, 0);
+}
+
+TEST(MedianCounter, MedianRuleAdvancesCounter) {
+  MedianCounterProtocol proto(config_for(256));
+  proto.reset(2);
+  MessageMeta first;
+  first.counter = 1;
+  proto.on_receive(0, first, 1, /*first_time=*/true);  // ctr[0] = 1
+  // Deliver three copies with counters {2, 2, 3}: median 2 >= 1 -> ctr 2.
+  for (const int c : {2, 2, 3}) {
+    MessageMeta m;
+    m.counter = c;
+    proto.on_receive(0, m, 2, /*first_time=*/false);
+  }
+  proto.on_round_start(3);
+  EXPECT_EQ(proto.stamp(0, 3).counter, 2);
+}
+
+TEST(MedianCounter, LowMediansDoNotAdvanceCounter) {
+  MedianCounterProtocol proto(config_for(256));
+  proto.reset(2);
+  MessageMeta first;
+  first.counter = 1;
+  proto.on_receive(0, first, 1, /*first_time=*/true);
+  proto.on_round_start(2);  // no samples: unchanged
+  EXPECT_EQ(proto.stamp(0, 2).counter, 1);
+  // ctr reaches 2 first.
+  for (const int c : {5, 5, 5}) {
+    MessageMeta m;
+    m.counter = c;
+    proto.on_receive(0, m, 2, /*first_time=*/false);
+  }
+  proto.on_round_start(3);
+  ASSERT_EQ(proto.stamp(0, 3).counter, 2);
+  // Now deliver counters below 2: median 0 < 2, no advance.
+  for (const int c : {0, 0, 1}) {
+    MessageMeta m;
+    m.counter = c;
+    proto.on_receive(0, m, 3, /*first_time=*/false);
+  }
+  proto.on_round_start(4);
+  EXPECT_EQ(proto.stamp(0, 4).counter, 2);
+}
+
+}  // namespace
+}  // namespace rrb

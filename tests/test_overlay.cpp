@@ -1,0 +1,183 @@
+#include "rrb/p2p/overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rrb/graph/algorithms.hpp"
+#include "rrb/phonecall/engine.hpp"
+#include "rrb/protocols/baselines.hpp"
+
+namespace rrb {
+namespace {
+
+TEST(Overlay, InitialStateIsRegularish) {
+  Rng rng(1);
+  DynamicOverlay overlay(200, 100, 6, rng);
+  overlay.check_invariants();
+  EXPECT_EQ(overlay.num_slots(), 200U);
+  EXPECT_EQ(overlay.num_alive(), 100U);
+  for (NodeId v = 0; v < 100; ++v) {
+    EXPECT_TRUE(overlay.is_alive(v));
+    // Configuration model minus loops: degree within [d-2, d].
+    EXPECT_GE(overlay.degree(v), 4U);
+    EXPECT_LE(overlay.degree(v), 6U);
+  }
+  for (NodeId v = 100; v < 200; ++v) EXPECT_FALSE(overlay.is_alive(v));
+}
+
+TEST(Overlay, ConstructionValidation) {
+  Rng rng(2);
+  EXPECT_THROW(DynamicOverlay(10, 20, 4, rng), std::logic_error);
+  EXPECT_THROW(DynamicOverlay(10, 4, 4, rng), std::logic_error);
+  EXPECT_THROW(DynamicOverlay(10, 8, 1, rng), std::logic_error);
+}
+
+TEST(Overlay, JoinAddsConnectedNode) {
+  Rng rng(3);
+  DynamicOverlay overlay(64, 32, 4, rng);
+  const auto id = overlay.join(rng);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_TRUE(overlay.is_alive(*id));
+  EXPECT_EQ(overlay.num_alive(), 33U);
+  EXPECT_EQ(overlay.degree(*id), 4U);
+  overlay.check_invariants();
+}
+
+TEST(Overlay, JoinFailsAtCapacity) {
+  Rng rng(4);
+  DynamicOverlay overlay(16, 16, 4, rng);
+  EXPECT_FALSE(overlay.join(rng).has_value());
+}
+
+TEST(Overlay, LeaveDetachesAndRepairs) {
+  Rng rng(5);
+  DynamicOverlay overlay(64, 32, 4, rng);
+  const Count edges_before = overlay.num_edges();
+  EXPECT_TRUE(overlay.leave(7, rng));
+  EXPECT_FALSE(overlay.is_alive(7));
+  EXPECT_EQ(overlay.degree(7), 0U);
+  EXPECT_EQ(overlay.num_alive(), 31U);
+  overlay.check_invariants();
+  // Stub re-pairing keeps roughly half the leaving node's edges.
+  EXPECT_GE(overlay.num_edges() + 4, edges_before - 4);
+}
+
+TEST(Overlay, LeaveOnDeadNodeIsNoop) {
+  Rng rng(6);
+  DynamicOverlay overlay(64, 32, 4, rng);
+  ASSERT_TRUE(overlay.leave(3, rng));
+  EXPECT_FALSE(overlay.leave(3, rng));
+}
+
+TEST(Overlay, SlotReuseAfterLeaveAndJoin) {
+  Rng rng(7);
+  DynamicOverlay overlay(33, 32, 4, rng);
+  ASSERT_TRUE(overlay.leave(10, rng));
+  // Two free slots now: 32 (never used) and 10.
+  const auto a = overlay.join(rng);
+  const auto b = overlay.join(rng);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE((*a == 10U) || (*b == 10U));
+  EXPECT_FALSE(overlay.join(rng).has_value());
+  overlay.check_invariants();
+}
+
+TEST(Overlay, SwitchStepPreservesDegrees) {
+  Rng rng(8);
+  DynamicOverlay overlay(64, 48, 6, rng);
+  std::vector<NodeId> degrees(48);
+  for (NodeId v = 0; v < 48; ++v) degrees[v] = overlay.degree(v);
+  for (int i = 0; i < 500; ++i) overlay.switch_step(rng);
+  overlay.check_invariants();
+  for (NodeId v = 0; v < 48; ++v) EXPECT_EQ(overlay.degree(v), degrees[v]);
+}
+
+TEST(Overlay, SwitchStepChangesWiring) {
+  Rng rng(9);
+  DynamicOverlay overlay(64, 48, 6, rng);
+  const Graph before = overlay.snapshot();
+  for (int i = 0; i < 300; ++i) overlay.switch_step(rng);
+  const Graph after = overlay.snapshot();
+  EXPECT_NE(before.edge_list(), after.edge_list());
+}
+
+TEST(Overlay, StaysConnectedUnderModerateChurn) {
+  Rng rng(10);
+  DynamicOverlay overlay(256, 128, 6, rng);
+  for (int step = 0; step < 200; ++step) {
+    if (rng.bernoulli(0.5)) (void)overlay.join(rng);
+    if (rng.bernoulli(0.5) && overlay.num_alive() > 16)
+      (void)overlay.leave(overlay.random_alive(rng), rng);
+    overlay.switch_step(rng);
+  }
+  overlay.check_invariants();
+  // Connectivity of the alive induced subgraph.
+  const Graph snap = overlay.snapshot();
+  const auto comps = connected_components(snap);
+  // Dead slots are isolated; all alive nodes must share one component.
+  NodeId alive_component = kNoNode;
+  bool connected = true;
+  for (NodeId v = 0; v < snap.num_nodes(); ++v) {
+    if (!overlay.is_alive(v)) continue;
+    if (alive_component == kNoNode) alive_component = comps.label[v];
+    connected = connected && comps.label[v] == alive_component;
+  }
+  EXPECT_TRUE(connected);
+}
+
+TEST(Overlay, DegreesStayWithinConstantFactorUnderChurn) {
+  // The paper's generalised setting: degrees within [d, c*d]. Our repair
+  // keeps them in a constant-factor band around d.
+  Rng rng(11);
+  DynamicOverlay overlay(512, 256, 8, rng);
+  for (int step = 0; step < 300; ++step) {
+    (void)overlay.join(rng);
+    if (overlay.num_alive() > 32)
+      (void)overlay.leave(overlay.random_alive(rng), rng);
+    for (int s = 0; s < 4; ++s) overlay.switch_step(rng);
+  }
+  Count total = 0;
+  NodeId max_d = 0;
+  Count alive = 0;
+  for (NodeId v = 0; v < overlay.num_slots(); ++v) {
+    if (!overlay.is_alive(v)) continue;
+    ++alive;
+    total += overlay.degree(v);
+    max_d = std::max(max_d, overlay.degree(v));
+  }
+  const double mean = static_cast<double>(total) / static_cast<double>(alive);
+  EXPECT_GT(mean, 4.0);   // d/2
+  EXPECT_LT(mean, 16.0);  // 2d
+  EXPECT_LT(max_d, 32U);  // 4d hard band
+}
+
+TEST(Overlay, RandomAliveReturnsOnlyAliveNodes) {
+  Rng rng(12);
+  DynamicOverlay overlay(64, 32, 4, rng);
+  (void)overlay.leave(0, rng);
+  (void)overlay.leave(1, rng);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_TRUE(overlay.is_alive(overlay.random_alive(rng)));
+}
+
+TEST(Overlay, BroadcastRunsOverOverlayTopology) {
+  Rng rng(13);
+  DynamicOverlay overlay(128, 128, 6, rng);
+  PushProtocol push;
+  PhoneCallEngine<DynamicOverlay> engine(overlay, ChannelConfig{}, rng);
+  const RunResult r = engine.run(push, NodeId{0}, RunLimits{});
+  EXPECT_TRUE(r.all_informed);
+}
+
+TEST(Overlay, SnapshotMatchesLiveDegrees) {
+  Rng rng(14);
+  DynamicOverlay overlay(64, 48, 6, rng);
+  (void)overlay.leave(5, rng);
+  const Graph snap = overlay.snapshot();
+  EXPECT_EQ(snap.num_nodes(), overlay.num_slots());
+  for (NodeId v = 0; v < overlay.num_slots(); ++v)
+    EXPECT_EQ(snap.degree(v), overlay.degree(v));
+}
+
+}  // namespace
+}  // namespace rrb

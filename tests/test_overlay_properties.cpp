@@ -1,0 +1,111 @@
+/// Parameterised stress suite for the dynamic overlay: invariants under
+/// sustained churn across (size, degree, churn-intensity) combinations.
+
+#include <gtest/gtest.h>
+
+#include "rrb/graph/algorithms.hpp"
+#include "rrb/p2p/churn.hpp"
+#include "rrb/p2p/overlay.hpp"
+
+namespace rrb {
+namespace {
+
+struct OverlayGridParam {
+  int initial;
+  int degree;
+  double rate;  // joins & leaves per "round"
+  int steps;
+};
+
+class OverlayGrid : public ::testing::TestWithParam<OverlayGridParam> {};
+
+TEST_P(OverlayGrid, InvariantsHoldUnderSustainedChurn) {
+  const auto param = GetParam();
+  Rng rng(static_cast<std::uint64_t>(param.initial * 13 + param.degree));
+  DynamicOverlay overlay(static_cast<NodeId>(param.initial * 2),
+                         static_cast<NodeId>(param.initial),
+                         static_cast<NodeId>(param.degree), rng);
+  ChurnConfig cfg;
+  cfg.joins_per_round = param.rate;
+  cfg.leaves_per_round = param.rate;
+  cfg.switches_per_round = 2;
+  cfg.min_alive = static_cast<Count>(param.degree + 2);
+  ChurnDriver driver(overlay, cfg, rng);
+
+  for (int step = 1; step <= param.steps; ++step) {
+    driver.apply(step);
+    if (step % 50 == 0) overlay.check_invariants();
+  }
+  overlay.check_invariants();
+
+  // Dead slots carry no edges; alive degrees stay in a sane band.
+  for (NodeId v = 0; v < overlay.num_slots(); ++v) {
+    if (!overlay.is_alive(v)) {
+      EXPECT_EQ(overlay.degree(v), 0U);
+      continue;
+    }
+    EXPECT_LE(overlay.degree(v), 6U * static_cast<NodeId>(param.degree));
+  }
+}
+
+TEST_P(OverlayGrid, AliveCoreStaysLargelyConnected) {
+  const auto param = GetParam();
+  Rng rng(static_cast<std::uint64_t>(param.initial * 29 + param.degree));
+  DynamicOverlay overlay(static_cast<NodeId>(param.initial * 2),
+                         static_cast<NodeId>(param.initial),
+                         static_cast<NodeId>(param.degree), rng);
+  ChurnConfig cfg;
+  cfg.joins_per_round = param.rate;
+  cfg.leaves_per_round = param.rate;
+  cfg.switches_per_round = 4;
+  ChurnDriver driver(overlay, cfg, rng);
+  for (int step = 1; step <= param.steps; ++step) driver.apply(step);
+
+  // The giant component of the alive subgraph must cover (nearly) all
+  // alive nodes — the random re-pairing in leave() plus maintenance
+  // switches preserve expansion.
+  const Graph snap = overlay.snapshot();
+  const auto comps = connected_components(snap);
+  std::vector<Count> sizes(comps.count, 0);
+  Count alive = 0;
+  for (NodeId v = 0; v < snap.num_nodes(); ++v) {
+    if (!overlay.is_alive(v)) continue;
+    ++alive;
+    ++sizes[comps.label[v]];
+  }
+  Count giant = 0;
+  for (const Count s : sizes) giant = std::max(giant, s);
+  EXPECT_GE(static_cast<double>(giant),
+            0.99 * static_cast<double>(alive));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OverlayGrid,
+    ::testing::Values(OverlayGridParam{64, 4, 1.0, 200},
+                      OverlayGridParam{128, 6, 2.0, 300},
+                      OverlayGridParam{256, 8, 4.0, 300},
+                      OverlayGridParam{256, 6, 8.0, 200},
+                      OverlayGridParam{512, 8, 16.0, 150}));
+
+/// Join/leave round-trips conserve slot bookkeeping exactly.
+class OverlaySlotGrid : public ::testing::TestWithParam<int> {};
+
+TEST_P(OverlaySlotGrid, RepeatedJoinLeaveCyclesConserveSlots) {
+  const int cycles = GetParam();
+  Rng rng(0x5107);
+  DynamicOverlay overlay(96, 64, 6, rng);
+  const Count initial_alive = overlay.num_alive();
+  for (int c = 0; c < cycles; ++c) {
+    const auto joined = overlay.join(rng);
+    ASSERT_TRUE(joined.has_value());
+    ASSERT_TRUE(overlay.leave(*joined, rng));
+  }
+  overlay.check_invariants();
+  EXPECT_EQ(overlay.num_alive(), initial_alive);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, OverlaySlotGrid,
+                         ::testing::Values(1, 10, 100, 500));
+
+}  // namespace
+}  // namespace rrb

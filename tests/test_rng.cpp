@@ -1,0 +1,281 @@
+#include "rrb/rng/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace rrb {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 42;
+  std::uint64_t s2 = 42;
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(splitmix64_next(s1), splitmix64_next(s2));
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  std::uint64_t a = 1;
+  std::uint64_t b = 2;
+  EXPECT_NE(splitmix64_next(a), splitmix64_next(b));
+}
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256StarStar a(123);
+  Xoshiro256StarStar b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, ZeroSeedIsNotDegenerate) {
+  Xoshiro256StarStar g(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(g());
+  EXPECT_GT(seen.size(), 60U);  // essentially all distinct
+}
+
+TEST(Xoshiro, JumpChangesStream) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b(7);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, UniformU64RespectsBound) {
+  Rng rng(1);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform_u64(bound), bound);
+  }
+}
+
+TEST(Rng, UniformU64BoundOneAlwaysZero) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.uniform_u64(1), 0U);
+}
+
+TEST(Rng, UniformU64ZeroBoundThrows) {
+  Rng rng(3);
+  EXPECT_THROW((void)rng.uniform_u64(0), std::logic_error);
+}
+
+TEST(Rng, UniformU64IsRoughlyUniform) {
+  Rng rng(4);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i)
+    ++counts[static_cast<std::size_t>(rng.uniform_u64(kBuckets))];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (const int c : counts)
+    EXPECT_NEAR(static_cast<double>(c), expected, 5.0 * std::sqrt(expected));
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformDoubleMeanIsHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform_double();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+  Rng rng(9);
+  constexpr int kDraws = 50000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliRejectsOutOfRange) {
+  Rng rng(10);
+  EXPECT_THROW((void)rng.bernoulli(-0.1), std::logic_error);
+  EXPECT_THROW((void)rng.bernoulli(1.1), std::logic_error);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(11);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(std::span<int>(v));
+  std::vector<int> sorted(v);
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng rng(12);
+  std::vector<int> v(64);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(std::span<int>(v));
+  int fixed = 0;
+  for (int i = 0; i < 64; ++i)
+    if (v[static_cast<size_t>(i)] == i) ++fixed;
+  EXPECT_LT(fixed, 10);  // expected ~1 fixed point
+}
+
+TEST(Rng, ShuffleUniformOverSmallPermutations) {
+  // All 6 permutations of 3 elements should appear with frequency ~1/6.
+  Rng rng(13);
+  std::map<std::vector<int>, int> counts;
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) {
+    std::vector<int> v{0, 1, 2};
+    rng.shuffle(std::span<int>(v));
+    ++counts[v];
+  }
+  ASSERT_EQ(counts.size(), 6U);
+  for (const auto& [perm, c] : counts)
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 1.0 / 6.0, 0.01);
+}
+
+TEST(Rng, SampleDistinctProducesDistinctValuesInRange) {
+  Rng rng(14);
+  std::vector<std::uint64_t> out;
+  for (int rep = 0; rep < 100; ++rep) {
+    rng.sample_distinct(50, 10, out);
+    ASSERT_EQ(out.size(), 10U);
+    std::set<std::uint64_t> set(out.begin(), out.end());
+    EXPECT_EQ(set.size(), 10U);
+    for (const auto v : out) EXPECT_LT(v, 50U);
+  }
+}
+
+TEST(Rng, SampleDistinctFullRangeIsPermutationOfSet) {
+  Rng rng(15);
+  std::vector<std::uint64_t> out;
+  rng.sample_distinct(8, 8, out);
+  std::set<std::uint64_t> set(out.begin(), out.end());
+  EXPECT_EQ(set.size(), 8U);
+}
+
+TEST(Rng, SampleDistinctMarginalsAreUniform) {
+  // Each element of [0,10) should be included in a 3-subset w.p. 3/10.
+  Rng rng(16);
+  std::vector<int> counts(10, 0);
+  std::vector<std::uint64_t> out;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    rng.sample_distinct(10, 3, out);
+    for (const auto v : out) ++counts[static_cast<std::size_t>(v)];
+  }
+  for (const int c : counts)
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 0.3, 0.015);
+}
+
+TEST(Rng, SampleDistinctSmallDistinctAndInRange) {
+  Rng rng(17);
+  std::array<std::uint32_t, 8> buf{};
+  for (int rep = 0; rep < 200; ++rep) {
+    const std::size_t got =
+        rng.sample_distinct_small(12, 4, std::span<std::uint32_t>(buf));
+    ASSERT_EQ(got, 4U);
+    std::set<std::uint32_t> set(buf.begin(), buf.begin() + 4);
+    EXPECT_EQ(set.size(), 4U);
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_LT(buf[i], 12U);
+  }
+}
+
+TEST(Rng, SampleDistinctSmallKEqualsN) {
+  Rng rng(18);
+  std::array<std::uint32_t, 8> buf{};
+  const std::size_t got =
+      rng.sample_distinct_small(4, 4, std::span<std::uint32_t>(buf));
+  ASSERT_EQ(got, 4U);
+  std::set<std::uint32_t> set(buf.begin(), buf.begin() + 4);
+  EXPECT_EQ(set, (std::set<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(Rng, SampleDistinctSmallMarginalsAreUniform) {
+  Rng rng(19);
+  std::array<std::uint32_t, 8> buf{};
+  std::vector<int> counts(8, 0);
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    rng.sample_distinct_small(8, 4, std::span<std::uint32_t>(buf));
+    for (std::size_t j = 0; j < 4; ++j) ++counts[buf[j]];
+  }
+  for (const int c : counts)
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 0.5, 0.02);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent(20);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, DeriveSeedIsDeterministicAndSpread) {
+  EXPECT_EQ(derive_seed(1, 2), derive_seed(1, 2));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 100; ++s) seeds.insert(derive_seed(42, s));
+  EXPECT_EQ(seeds.size(), 100U);
+}
+
+/// Property sweep: sample_distinct respects (n, k) contracts across a grid.
+class SampleDistinctParam
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SampleDistinctParam, DistinctInRangeAndFullSize) {
+  const auto [n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 131 + k));
+  std::vector<std::uint64_t> out;
+  rng.sample_distinct(static_cast<std::uint64_t>(n),
+                      static_cast<std::size_t>(k), out);
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(k));
+  std::set<std::uint64_t> set(out.begin(), out.end());
+  EXPECT_EQ(set.size(), static_cast<std::size_t>(k));
+  for (const auto v : out) EXPECT_LT(v, static_cast<std::uint64_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SampleDistinctParam,
+    ::testing::Values(std::tuple{1, 1}, std::tuple{4, 1}, std::tuple{4, 4},
+                      std::tuple{10, 3}, std::tuple{100, 7},
+                      std::tuple{100, 100}, std::tuple{1000, 64}));
+
+}  // namespace
+}  // namespace rrb

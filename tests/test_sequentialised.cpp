@@ -1,0 +1,139 @@
+#include "rrb/protocols/sequentialised.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rrb/graph/generators.hpp"
+#include "rrb/phonecall/engine.hpp"
+
+namespace rrb {
+namespace {
+
+FourChoiceConfig config_for(std::uint64_t n) {
+  FourChoiceConfig cfg;
+  cfg.n_estimate = n;
+  return cfg;
+}
+
+TEST(Sequentialised, ParallelRoundMapping) {
+  EXPECT_EQ(SequentialisedFourChoice::parallel_round(1), 1);
+  EXPECT_EQ(SequentialisedFourChoice::parallel_round(4), 1);
+  EXPECT_EQ(SequentialisedFourChoice::parallel_round(5), 2);
+  EXPECT_EQ(SequentialisedFourChoice::parallel_round(8), 2);
+  EXPECT_EQ(SequentialisedFourChoice::parallel_round(9), 3);
+}
+
+TEST(Sequentialised, HorizonIsFourTimesParallelSchedule) {
+  SequentialisedFourChoice alg(config_for(1 << 16));
+  const Round horizon = 4 * alg.parallel_schedule().phase4_end;
+  EXPECT_FALSE(alg.finished(horizon - 1, 0, 0));
+  EXPECT_TRUE(alg.finished(horizon, 0, 0));
+}
+
+TEST(Sequentialised, SourcePushesThroughFirstParallelRound) {
+  SequentialisedFourChoice alg(config_for(1 << 16));
+  NodeLocalState src;
+  src.informed_at = 0;
+  src.is_source = true;
+  // Parallel round 1 = steps 1..4: the source (q = 0) pushes in all four.
+  for (Round t = 1; t <= 4; ++t)
+    EXPECT_EQ(alg.action(0, src, t), Action::kPush) << t;
+  // Parallel round 2: the source is stale (q = 0 != p - 1 = 1).
+  EXPECT_EQ(alg.action(0, src, 5), Action::kNone);
+}
+
+TEST(Sequentialised, FreshNodePushesExactlyFourSubSteps) {
+  SequentialisedFourChoice alg(config_for(1 << 16));
+  NodeLocalState fresh;
+  fresh.informed_at = 2;  // informed in parallel round 1
+  // It pushes during parallel round 2 = steps 5..8 only.
+  EXPECT_EQ(alg.action(0, fresh, 3), Action::kNone);  // same parallel round
+  EXPECT_EQ(alg.action(0, fresh, 4), Action::kNone);
+  for (Round t = 5; t <= 8; ++t)
+    EXPECT_EQ(alg.action(0, fresh, t), Action::kPush) << t;
+  EXPECT_EQ(alg.action(0, fresh, 9), Action::kNone);
+}
+
+TEST(Sequentialised, PullWindowSpansFourSteps) {
+  SequentialisedFourChoice alg(config_for(1 << 16));
+  const PhaseSchedule& s = alg.parallel_schedule();
+  NodeLocalState old;
+  old.informed_at = 1;
+  const Round pull_first = 4 * s.phase2_end + 1;
+  for (Round t = pull_first; t < pull_first + 4; ++t)
+    EXPECT_EQ(alg.action(0, old, t), Action::kPull) << t;
+  // Phase 4 starts right after: early-informed nodes go silent there (only
+  // nodes informed during phases 3/4 become active).
+  EXPECT_EQ(alg.action(0, old, pull_first + 4), Action::kNone);
+}
+
+TEST(Sequentialised, Phase4ActivatesOnlyLateInformedNodes) {
+  SequentialisedFourChoice alg(config_for(1 << 16));
+  const PhaseSchedule& s = alg.parallel_schedule();
+  const Round phase4_step = 4 * (s.phase3_end + 1);
+  NodeLocalState early;
+  early.informed_at = 2;
+  NodeLocalState late;
+  late.informed_at = 4 * s.phase2_end + 2;  // informed in the pull window
+  EXPECT_EQ(alg.action(0, early, phase4_step), Action::kNone);
+  EXPECT_EQ(alg.action(0, late, phase4_step), Action::kPush);
+}
+
+TEST(Sequentialised, CompletesOnRandomRegular) {
+  Rng grng(1);
+  const NodeId n = 4096;
+  const Graph g = random_regular_simple(n, 8, grng);
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    SequentialisedFourChoice alg(config_for(n));
+    GraphTopology topo(g);
+    Rng rng(seed);
+    ChannelConfig chan;
+    chan.num_choices = 1;
+    chan.memory = 3;
+    PhoneCallEngine<GraphTopology> engine(topo, chan, rng);
+    const RunResult r = engine.run(alg, NodeId{0}, RunLimits{});
+    EXPECT_TRUE(r.all_informed) << seed;
+    EXPECT_EQ(r.rounds, 4 * alg.parallel_schedule().phase4_end);
+  }
+}
+
+TEST(Sequentialised, TransmissionsMatchFourChoiceWithinTolerance) {
+  // Footnote 2's equivalence: the sequential emulation should land within
+  // a few percent of the parallel four-choice transmission count.
+  Rng grng(2);
+  const NodeId n = 1 << 13;
+  const Graph g = random_regular_simple(n, 8, grng);
+
+  FourChoiceBroadcast parallel(config_for(n));
+  GraphTopology topo_a(g);
+  Rng rng_a(3);
+  ChannelConfig four;
+  four.num_choices = 4;
+  PhoneCallEngine<GraphTopology> engine_a(topo_a, four, rng_a);
+  const RunResult pr = engine_a.run(parallel, NodeId{0}, RunLimits{});
+  ASSERT_TRUE(pr.all_informed);
+
+  SequentialisedFourChoice sequential(config_for(n));
+  GraphTopology topo_b(g);
+  Rng rng_b(4);
+  ChannelConfig seq;
+  seq.num_choices = 1;
+  seq.memory = 3;
+  PhoneCallEngine<GraphTopology> engine_b(topo_b, seq, rng_b);
+  const RunResult sr = engine_b.run(sequential, NodeId{0}, RunLimits{});
+  ASSERT_TRUE(sr.all_informed);
+
+  const double ratio = static_cast<double>(sr.total_tx()) /
+                       static_cast<double>(pr.total_tx());
+  EXPECT_GT(ratio, 0.85);
+  EXPECT_LT(ratio, 1.15);
+  // And four sequential steps per parallel round.
+  EXPECT_EQ(sr.rounds, 4 * pr.rounds);
+}
+
+TEST(Sequentialised, NameIsStable) {
+  SequentialisedFourChoice alg(config_for(256));
+  EXPECT_STREQ(alg.name(), "four-choice/sequentialised");
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,164 @@
+#include "rrb/protocols/throttled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rrb/graph/generators.hpp"
+#include "rrb/phonecall/engine.hpp"
+#include "rrb/protocols/baselines.hpp"
+
+namespace rrb {
+namespace {
+
+ThrottledConfig config_for(std::uint64_t n, std::uint32_t d) {
+  ThrottledConfig cfg;
+  cfg.n_estimate = n;
+  cfg.degree = d;
+  return cfg;
+}
+
+RunResult run_throttled(const Graph& g, std::uint64_t seed,
+                        const ThrottledConfig& cfg) {
+  ThrottledPushPull proto(cfg);
+  GraphTopology topo(g);
+  Rng rng(seed);
+  PhoneCallEngine<GraphTopology> engine(topo, ChannelConfig{}, rng);
+  return engine.run(proto, NodeId{0}, RunLimits{});
+}
+
+TEST(Throttled, TauShrinksWithDegree) {
+  ThrottledPushPull sparse(config_for(1 << 16, 4));
+  ThrottledPushPull dense(config_for(1 << 16, 64));
+  EXPECT_GT(sparse.tau(), dense.tau());
+}
+
+TEST(Throttled, TauGrowsWithN) {
+  ThrottledPushPull small(config_for(1 << 10, 8));
+  ThrottledPushPull large(config_for(1 << 20, 8));
+  EXPECT_GT(large.tau(), small.tau());
+}
+
+TEST(Throttled, TauMatchesFormula) {
+  // n = 2^16, d = 16: ceil(2*16/4) + ceil(2*log2(16)) = 8 + 8 = 16.
+  ThrottledPushPull proto(config_for(1 << 16, 16));
+  EXPECT_EQ(proto.tau(), 16);
+}
+
+TEST(Throttled, RejectsBadConfig) {
+  EXPECT_THROW(ThrottledPushPull(config_for(1, 8)), std::logic_error);
+  EXPECT_THROW(ThrottledPushPull(config_for(100, 1)), std::logic_error);
+  ThrottledConfig cfg = config_for(100, 8);
+  cfg.c1 = 0.0;
+  EXPECT_THROW(ThrottledPushPull{cfg}, std::logic_error);
+}
+
+TEST(Throttled, NodesGoQuietAfterTau) {
+  ThrottledPushPull proto(config_for(1 << 16, 8));
+  proto.reset(4);
+  NodeLocalState state;
+  state.informed_at = 5;
+  EXPECT_EQ(proto.action(0, state, 5 + proto.tau()), Action::kPushPull);
+  EXPECT_EQ(proto.action(0, state, 5 + proto.tau() + 1), Action::kNone);
+}
+
+TEST(Throttled, CompletesOnRandomRegular) {
+  for (const NodeId d : {8U, 16U, 32U}) {
+    Rng grng(d);
+    const NodeId n = 4096;
+    const Graph g = random_regular_simple(n, d, grng);
+    const RunResult r = run_throttled(g, 7 + d, config_for(n, d));
+    EXPECT_TRUE(r.all_informed) << "d = " << d;
+  }
+}
+
+TEST(Throttled, SelfTerminatesByQuiescence) {
+  Rng grng(1);
+  const NodeId n = 2048;
+  const Graph g = random_regular_simple(n, 16, grng);
+  ThrottledPushPull proto(config_for(n, 16));
+  GraphTopology topo(g);
+  Rng rng(2);
+  PhoneCallEngine<GraphTopology> engine(topo, ChannelConfig{}, rng);
+  RunLimits limits;
+  limits.max_rounds = 100000;
+  const RunResult r = engine.run(proto, NodeId{0}, limits);
+  EXPECT_TRUE(r.all_informed);
+  // Stops within tau rounds of the last activation, not at the cap.
+  EXPECT_LT(r.rounds, r.completion_round + proto.tau() + 2);
+}
+
+TEST(Throttled, TransmissionsBoundedByTwoTauPerNode) {
+  // Each node transmits at most 2 copies per active round (one push, one
+  // pull answer per channel — with one channel out and expected one in).
+  // The hard bound per node is (out + in) * tau; check the measured mean is
+  // below 2.5 * tau (in-degree fluctuations included).
+  Rng grng(3);
+  const NodeId n = 4096;
+  const NodeId d = 32;
+  const Graph g = random_regular_simple(n, d, grng);
+  ThrottledPushPull proto(config_for(n, d));
+  GraphTopology topo(g);
+  Rng rng(4);
+  PhoneCallEngine<GraphTopology> engine(topo, ChannelConfig{}, rng);
+  const RunResult r = engine.run(proto, NodeId{0}, RunLimits{});
+  ASSERT_TRUE(r.all_informed);
+  EXPECT_LT(r.tx_per_node(), 2.5 * static_cast<double>(proto.tau()));
+}
+
+TEST(Throttled, CheaperThanFixedHorizonPushAtHighDegree) {
+  // The fair comparison is against the *implementable* (oracle-free)
+  // Monte Carlo push, which pays for its full Θ(log n) horizon. At d = 64
+  // the throttle window ~ log n / log d + log log n is much shorter.
+  Rng grng(5);
+  const NodeId n = 1 << 13;
+  const NodeId d = 64;
+  const Graph g = random_regular_simple(n, d, grng);
+
+  const RunResult throttled = run_throttled(g, 6, config_for(n, d));
+  ASSERT_TRUE(throttled.all_informed);
+
+  FixedHorizonPush push(make_push_horizon(n, static_cast<int>(d)));
+  GraphTopology topo(g);
+  Rng rng(7);
+  PhoneCallEngine<GraphTopology> engine(topo, ChannelConfig{}, rng);
+  const RunResult pushed = engine.run(push, NodeId{0}, RunLimits{});
+  ASSERT_TRUE(pushed.all_informed);
+
+  EXPECT_LT(throttled.tx_per_node(), pushed.tx_per_node());
+}
+
+TEST(FixedHorizonPush, CompletesAndStopsAtHorizon) {
+  Rng grng(8);
+  const NodeId n = 2048;
+  const Graph g = random_regular_simple(n, 8, grng);
+  FixedHorizonPush push(make_push_horizon(n, 8));
+  GraphTopology topo(g);
+  Rng rng(9);
+  PhoneCallEngine<GraphTopology> engine(topo, ChannelConfig{}, rng);
+  const RunResult r = engine.run(push, NodeId{0}, RunLimits{});
+  EXPECT_TRUE(r.all_informed);
+  EXPECT_EQ(r.rounds, push.horizon());
+  EXPECT_GT(r.rounds, r.completion_round);  // pays past completion
+}
+
+TEST(FixedHorizonPush, HorizonFormulaAndValidation) {
+  // 2 * C_8 * ln(2^13): C_8 ≈ 2.723, ln(8192) ≈ 9.01 -> ceil(49.07) = 50.
+  EXPECT_EQ(make_push_horizon(1 << 13, 8), 50);
+  EXPECT_THROW((void)make_push_horizon(1, 8), std::logic_error);
+  EXPECT_THROW((void)make_push_horizon(100, 8, 0.0), std::logic_error);
+  EXPECT_THROW(FixedHorizonPush(0), std::logic_error);
+}
+
+TEST(Throttled, StrictlyObliviousActionIgnoresNodeId) {
+  ThrottledPushPull proto(config_for(1 << 12, 8));
+  proto.reset(16);
+  NodeLocalState state;
+  state.informed_at = 3;
+  const Action a = proto.action(0, state, 5);
+  const Action b = proto.action(15, state, 5);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,137 @@
+#include "rrb/sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rrb/graph/generators.hpp"
+#include "rrb/protocols/baselines.hpp"
+#include "rrb/protocols/four_choice.hpp"
+
+namespace rrb {
+namespace {
+
+TraceConfig quick_config() {
+  TraceConfig cfg;
+  cfg.trials = 2;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Trace, InformedIsMonotoneAndPartitionsN) {
+  const NodeId n = 512;
+  TraceConfig cfg = quick_config();
+  const auto trace = trace_set_sizes(
+      [n](Rng& rng) { return random_regular_simple(n, 6, rng); },
+      [](const Graph&) { return std::make_unique<PushProtocol>(); }, cfg);
+  ASSERT_FALSE(trace.empty());
+  double last = 0.0;
+  for (const SetTracePoint& p : trace) {
+    EXPECT_GE(p.informed, last);
+    EXPECT_NEAR(p.informed + p.uninformed, static_cast<double>(n), 1e-9);
+    last = p.informed;
+  }
+  EXPECT_NEAR(trace.back().informed, static_cast<double>(n), 1e-9);
+}
+
+TEST(Trace, NewlyInformedSumsToInformedMinusSource) {
+  const NodeId n = 256;
+  TraceConfig cfg = quick_config();
+  cfg.trials = 1;
+  const auto trace = trace_set_sizes(
+      [n](Rng& rng) { return random_regular_simple(n, 6, rng); },
+      [](const Graph&) { return std::make_unique<PushProtocol>(); }, cfg);
+  double sum = 0.0;
+  for (const SetTracePoint& p : trace) sum += p.newly_informed;
+  EXPECT_NEAR(sum, static_cast<double>(n - 1), 1e-9);
+}
+
+TEST(Trace, HSetsAreNestedAndBelowUninformed) {
+  const NodeId n = 1024;
+  TraceConfig cfg = quick_config();
+  cfg.trials = 1;
+  const auto trace = trace_set_sizes(
+      [n](Rng& rng) { return random_regular_simple(n, 8, rng); },
+      [n](const Graph&) {
+        FourChoiceConfig fc;
+        fc.n_estimate = n;
+        return std::make_unique<FourChoiceBroadcast>(fc);
+      },
+      cfg);
+  for (const SetTracePoint& p : trace) {
+    EXPECT_LE(p.h5, p.h4);
+    EXPECT_LE(p.h4, p.h1);
+    EXPECT_LE(p.h1, p.uninformed);
+  }
+}
+
+TEST(Trace, RoundIndicesAreSequential) {
+  const auto trace = trace_set_sizes(
+      [](Rng& rng) { return random_regular_simple(128, 4, rng); },
+      [](const Graph&) { return std::make_unique<PushProtocol>(); },
+      quick_config());
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    EXPECT_EQ(trace[i].t, static_cast<Round>(i + 1));
+}
+
+TEST(Trace, EdgeUsageCountIsMonotoneDecreasing) {
+  // |U(t)| (nodes with an unused incident edge) can only shrink over time.
+  TraceConfig cfg = quick_config();
+  cfg.trials = 1;
+  cfg.track_edge_usage = true;
+  const NodeId n = 512;
+  const auto trace = trace_set_sizes(
+      [n](Rng& rng) { return random_regular_simple(n, 6, rng); },
+      [n](const Graph&) {
+        FourChoiceConfig fc;
+        fc.n_estimate = n;
+        return std::make_unique<FourChoiceBroadcast>(fc);
+      },
+      cfg);
+  double last = static_cast<double>(n);
+  for (const SetTracePoint& p : trace) {
+    EXPECT_LE(p.unused_edge_nodes, last + 1e-9);
+    last = p.unused_edge_nodes;
+  }
+  // Something must have been used by the end.
+  EXPECT_LT(trace.back().unused_edge_nodes, static_cast<double>(n));
+}
+
+TEST(Trace, HSetsSkippedWhenDisabled) {
+  TraceConfig cfg = quick_config();
+  cfg.track_h_sets = false;
+  const auto trace = trace_set_sizes(
+      [](Rng& rng) { return random_regular_simple(128, 4, rng); },
+      [](const Graph&) { return std::make_unique<PushProtocol>(); }, cfg);
+  for (const SetTracePoint& p : trace) {
+    EXPECT_DOUBLE_EQ(p.h1, 0.0);
+    EXPECT_DOUBLE_EQ(p.h4, 0.0);
+  }
+}
+
+TEST(Trace, AveragesOverTrialsAreFractional) {
+  // With 3 trials the averaged informed counts are generally non-integral;
+  // sanity check the averaging machinery ran (values within [0, n]).
+  const NodeId n = 256;
+  TraceConfig cfg = quick_config();
+  cfg.trials = 3;
+  const auto trace = trace_set_sizes(
+      [n](Rng& rng) { return random_regular_simple(n, 6, rng); },
+      [](const Graph&) { return std::make_unique<PushProtocol>(); }, cfg);
+  for (const SetTracePoint& p : trace) {
+    EXPECT_GE(p.informed, 0.0);
+    EXPECT_LE(p.informed, static_cast<double>(n));
+  }
+}
+
+TEST(Trace, RejectsZeroTrials) {
+  TraceConfig cfg;
+  cfg.trials = 0;
+  EXPECT_THROW(
+      (void)trace_set_sizes(
+          [](Rng& rng) { return random_regular_simple(64, 4, rng); },
+          [](const Graph&) { return std::make_unique<PushProtocol>(); },
+          cfg),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace rrb
