@@ -40,9 +40,9 @@ int main() {
   std::vector<Row> rows;
   rows.push_back({"push (1 choice)", one, push_protocol()});
   rows.push_back({"push, fixed horizon", one, [n](const Graph& g) {
-                    const auto d = static_cast<int>(*g.regular_degree());
+                    const auto deg = static_cast<int>(*g.regular_degree());
                     return std::make_unique<FixedHorizonPush>(
-                        make_push_horizon(n, d));
+                        make_push_horizon(n, deg));
                   }});
   rows.push_back({"throttled push&pull [11]", one, [n, d](const Graph&) {
                     ThrottledConfig tc;

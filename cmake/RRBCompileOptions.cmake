@@ -1,0 +1,35 @@
+# Shared compile options for every target built in this repository.
+#
+# `rrb::compile_options` is linked PRIVATE into each target: the warnings
+# and sanitizer flags apply to our own translation units but are not
+# imposed on downstream consumers of the libraries.
+
+option(RRB_WERROR "Treat warnings as errors" OFF)
+option(RRB_SANITIZE "Build with AddressSanitizer + UndefinedBehaviorSanitizer" OFF)
+
+add_library(rrb_compile_options INTERFACE)
+add_library(rrb::compile_options ALIAS rrb_compile_options)
+
+if(MSVC)
+  target_compile_options(rrb_compile_options INTERFACE /W4)
+  if(RRB_WERROR)
+    target_compile_options(rrb_compile_options INTERFACE /WX)
+  endif()
+else()
+  target_compile_options(rrb_compile_options INTERFACE -Wall -Wextra -Wshadow)
+  if(RRB_WERROR)
+    target_compile_options(rrb_compile_options INTERFACE -Werror)
+  endif()
+endif()
+
+if(RRB_SANITIZE)
+  if(MSVC)
+    message(FATAL_ERROR "RRB_SANITIZE is only supported with GCC/Clang")
+  endif()
+  target_compile_options(rrb_compile_options INTERFACE
+    -fsanitize=address,undefined
+    -fno-sanitize-recover=all
+    -fno-omit-frame-pointer)
+  target_link_options(rrb_compile_options INTERFACE
+    -fsanitize=address,undefined)
+endif()

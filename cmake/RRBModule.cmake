@@ -1,0 +1,26 @@
+# rrb_add_module(<name> SOURCES <src...> [DEPENDS <module...>])
+#
+# Declares the static library `rrb_<name>` (alias `rrb::<name>`) for a
+# module living in src/<name>/ with public headers under
+# src/<name>/include/rrb/<name>/. Module dependencies are PUBLIC because
+# our public headers include headers of the modules they depend on.
+
+function(rrb_add_module name)
+  cmake_parse_arguments(RRB_MOD "" "" "SOURCES;DEPENDS" ${ARGN})
+  if(NOT RRB_MOD_SOURCES)
+    message(FATAL_ERROR "rrb_add_module(${name}): SOURCES is required")
+  endif()
+
+  set(target rrb_${name})
+  add_library(${target} STATIC ${RRB_MOD_SOURCES})
+  add_library(rrb::${name} ALIAS ${target})
+
+  target_include_directories(${target} PUBLIC
+    $<BUILD_INTERFACE:${CMAKE_CURRENT_SOURCE_DIR}/include>)
+  target_compile_features(${target} PUBLIC cxx_std_20)
+
+  foreach(dep IN LISTS RRB_MOD_DEPENDS)
+    target_link_libraries(${target} PUBLIC rrb::${dep})
+  endforeach()
+  target_link_libraries(${target} PRIVATE rrb::compile_options)
+endfunction()

@@ -1,5 +1,8 @@
 #include "rrb/core/broadcast.hpp"
 
+#include <cmath>
+#include <string>
+
 #include "rrb/common/check.hpp"
 #include "rrb/protocols/baselines.hpp"
 #include "rrb/protocols/four_choice.hpp"
@@ -20,7 +23,12 @@ const char* scheme_name(BroadcastScheme scheme) {
     case BroadcastScheme::kFourChoice: return "four-choice";
     case BroadcastScheme::kSequentialised: return "four-choice/sequentialised";
   }
-  return "?";
+  // Only reachable via a cast of an out-of-range value; names feed reports
+  // and file formats, so a silent "?" placeholder corrupts downstream data.
+  detail::check_failed("Precondition", "scheme is a known BroadcastScheme",
+                       __FILE__, __LINE__,
+                       "unknown scheme value " +
+                           std::to_string(static_cast<int>(scheme)));
 }
 
 SchemeParts make_scheme(const Graph& graph, const BroadcastOptions& options) {
@@ -43,12 +51,16 @@ SchemeParts make_scheme(const Graph& graph, const BroadcastOptions& options) {
       break;
     case BroadcastScheme::kFixedHorizonPush: {
       // Horizon needs the degree; fall back to the mean for irregular
-      // graphs (the constant C_d is flat for d above ~8 anyway).
-      Count total = 0;
-      for (NodeId v = 0; v < graph.num_nodes(); ++v)
-        total += graph.degree(v);
-      const int d = std::max<int>(
-          3, static_cast<int>(total / graph.num_nodes()));
+      // graphs (the constant C_d is flat for d above ~8 anyway). The
+      // degree sum is 2|E| — self-loops contribute two stubs to their
+      // node's degree and one edge to the count.
+      const Count total = 2 * graph.num_edges();
+      RRB_REQUIRE(total > 0,
+                  "fixed-horizon push needs a non-empty adjacency: a graph "
+                  "with no edges has no mean degree to derive a horizon from");
+      const double mean_degree =
+          static_cast<double>(total) / static_cast<double>(graph.num_nodes());
+      const int d = std::max(3, static_cast<int>(std::lround(mean_degree)));
       parts.protocol =
           std::make_unique<FixedHorizonPush>(make_push_horizon(n_est, d));
       break;
@@ -86,7 +98,12 @@ SchemeParts make_scheme(const Graph& graph, const BroadcastOptions& options) {
       break;
     }
   }
-  RRB_ASSERT(parts.protocol != nullptr, "unhandled scheme");
+  // Reached with a null protocol only when `options.scheme` holds a value
+  // outside the enum (e.g. a bad cast from user input): a caller error,
+  // so a precondition failure rather than an internal invariant.
+  RRB_REQUIRE(parts.protocol != nullptr,
+              "unknown BroadcastScheme — options.scheme does not name a "
+              "scheme this library implements");
   return parts;
 }
 

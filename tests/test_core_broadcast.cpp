@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "rrb/graph/generators.hpp"
+#include "rrb/protocols/baselines.hpp"
 
 namespace rrb {
 namespace {
@@ -112,6 +113,61 @@ TEST(CoreBroadcast, SchemeNamesAreStable) {
   EXPECT_STREQ(scheme_name(BroadcastScheme::kFourChoice), "four-choice");
   EXPECT_STREQ(scheme_name(BroadcastScheme::kMedianCounter),
                "median-counter");
+}
+
+TEST(CoreBroadcast, SchemeNameRejectsUnknownEnum) {
+  // Regression: the fallback used to return "?" silently.
+  EXPECT_THROW((void)scheme_name(static_cast<BroadcastScheme>(255)),
+               std::logic_error);
+}
+
+TEST(CoreBroadcast, MakeSchemeRejectsUnknownEnum) {
+  const Graph g = regular_graph_for(64, 4, 13);
+  BroadcastOptions opt;
+  opt.scheme = static_cast<BroadcastScheme>(255);
+  EXPECT_THROW((void)make_scheme(g, opt), std::logic_error);
+}
+
+TEST(CoreBroadcast, FixedHorizonRejectsEmptyAdjacency) {
+  // Regression: mean degree over an edgeless graph used to produce a
+  // bogus d = 3 horizon instead of failing loudly.
+  const std::vector<Edge> no_edges;
+  const Graph g = Graph::from_edges(4, no_edges);
+  BroadcastOptions opt;
+  opt.scheme = BroadcastScheme::kFixedHorizonPush;
+  EXPECT_THROW((void)make_scheme(g, opt), std::logic_error);
+}
+
+TEST(CoreBroadcast, FixedHorizonMeanDegreeRounds) {
+  // Regression: integer division truncated the mean degree. An 8-node ring
+  // with 7 chords has mean degree 2·15/8 = 3.75: truncation derived d = 3,
+  // rounding must derive d = 4 — observable through the protocol's horizon
+  // because C_3 != C_4 in make_push_horizon.
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < 8; ++v) edges.push_back({v, (v + 1) % 8});
+  for (NodeId v = 0; v < 7; ++v) edges.push_back({v, (v + 2) % 8});
+  const Graph g = Graph::from_edges(8, edges);
+  BroadcastOptions opt;
+  opt.scheme = BroadcastScheme::kFixedHorizonPush;
+  opt.n_estimate = 1 << 10;  // pin n̂ so the horizon depends only on d
+  const SchemeParts parts = make_scheme(g, opt);
+  const auto* push = dynamic_cast<const FixedHorizonPush*>(
+      parts.protocol.get());
+  ASSERT_NE(push, nullptr);
+  EXPECT_EQ(push->horizon(), make_push_horizon(1 << 10, 4));
+  EXPECT_NE(push->horizon(), make_push_horizon(1 << 10, 3));
+}
+
+TEST(CoreBroadcast, FixedHorizonAcceptsNearEdgelessGraph) {
+  // Mean degree below 3 (a star: 2·63/64 ≈ 1.97) clamps to the d = 3
+  // floor and still yields a usable protocol rather than throwing.
+  const SchemeParts parts = [] {
+    BroadcastOptions opt;
+    opt.scheme = BroadcastScheme::kFixedHorizonPush;
+    return make_scheme(star(64), opt);
+  }();
+  ASSERT_NE(parts.protocol, nullptr);
+  EXPECT_STREQ(parts.protocol->name(), "push/fixed-horizon");
 }
 
 }  // namespace

@@ -58,21 +58,42 @@ TEST(MedianCounter, RoundsAreLogScaleOnCompleteGraph) {
   EXPECT_LT(static_cast<double>(r.completion_round), 3.0 * expected);
 }
 
+// Mean per-node transmissions over a few seeds (complete graph, n nodes).
+double mean_tx_per_node(NodeId n, std::initializer_list<std::uint64_t> seeds) {
+  const Graph g = complete(n);
+  double total = 0.0;
+  for (const std::uint64_t seed : seeds) {
+    const RunResult r = run_mc(g, seed, config_for(n));
+    EXPECT_TRUE(r.all_informed);
+    total += r.tx_per_node();
+  }
+  return total / static_cast<double>(seeds.size());
+}
+
 TEST(MedianCounter, TransmissionsAreNLogLogScaleOnCompleteGraph) {
   // The whole point of the counter: O(n log log n) transmissions. At
   // laptop scale the honest check is twofold: (a) per-node transmissions
   // stay within a small multiple of log log n, and (b) they grow far more
-  // slowly than log n when n is scaled 64x.
-  auto per_node_at = [](NodeId n, std::uint64_t seed) {
-    const Graph g = complete(n);
-    const RunResult r = run_mc(g, seed, config_for(n));
-    EXPECT_TRUE(r.all_informed);
-    return r.tx_per_node();
-  };
-  const double small = per_node_at(1 << 8, 3);
-  const double large = per_node_at(1 << 14, 4);
-  const double lglg_large = std::log2(14.0);
+  // slowly than log n when n is scaled 16x. Seeds are averaged so the
+  // ratio bound is not hostage to one unlucky run.
+  const double small = mean_tx_per_node(1 << 8, {3, 5, 7});
+  const double large = mean_tx_per_node(1 << 12, {4, 6, 8});
+  const double lglg_large = std::log2(12.0);
   EXPECT_LT(large, 8.0 * lglg_large);       // small multiple of log log n
+  EXPECT_LT(large / small, 1.35);           // log n ratio would be 1.5,
+                                            // log log n ratio ~1.2
+  EXPECT_GT(large, 1.0);
+}
+
+TEST(MedianCounterSlow, TransmissionsScaleTo16k) {
+  // The original 64x spread (2^8 -> 2^14): a materialised K_{16384} costs
+  // ~1 GB of adjacency and >10 s, so this stronger form of the scaling
+  // check lives under the `slow` CTest label (run it via
+  // `ctest --preset release-all` or plain `ctest`).
+  const double small = mean_tx_per_node(1 << 8, {3});
+  const double large = mean_tx_per_node(1 << 14, {4});
+  const double lglg_large = std::log2(14.0);
+  EXPECT_LT(large, 8.0 * lglg_large);
   EXPECT_LT(large / small, 1.4);            // log n ratio would be 1.75
   EXPECT_GT(large, 1.0);
 }

@@ -123,8 +123,11 @@ INSTANTIATE_TEST_SUITE_P(
                       Topo::kCompleteBipartite,
                       Topo::kPreferentialAttachment, Topo::kGnp,
                       Topo::kProductK5, Topo::kCycle),
-    [](const ::testing::TestParamInfo<Topo>& info) {
-      return topo_name(info.param);
+    // Parameter deliberately not named `info`: the INSTANTIATE macro wraps
+    // this lambda in a function whose own parameter is `info`, and gtest
+    // 1.11 trips -Wshadow on the collision.
+    [](const ::testing::TestParamInfo<Topo>& param_info) {
+      return topo_name(param_info.param);
     });
 
 /// Algorithm 1 completes on every *expander-like* topology (the paper's
@@ -152,8 +155,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Topo::kHypercube, Topo::kCompleteBipartite,
                       Topo::kPreferentialAttachment, Topo::kGnp,
                       Topo::kProductK5),
-    [](const ::testing::TestParamInfo<Topo>& info) {
-      return topo_name(info.param);
+    [](const ::testing::TestParamInfo<Topo>& param_info) {
+      return topo_name(param_info.param);
     });
 
 TEST(TopologyNegative, FourChoiceHorizonTooShortForTheCycle) {
