@@ -20,16 +20,28 @@
 #include "rrb/protocols/median_counter.hpp"
 #include "rrb/protocols/sequentialised.hpp"
 #include "rrb/protocols/throttled.hpp"
+#include "rrb/sim/runner.hpp"
 #include "rrb/sim/trace.hpp"
 #include "rrb/sim/trial.hpp"
 
 namespace rrb::bench {
+
+/// Worker threads the default RunnerConfig resolves to — what every
+/// run_trials/trace_set_sizes call in the benches will use unless a bench
+/// overrides TrialConfig::runner. RRB_THREADS=1 gives the sequential
+/// baseline for speedup comparisons; outputs are identical either way.
+inline int report_threads() {
+  return ParallelRunner::resolve_threads(RunnerConfig{});
+}
 
 /// Header printed by every experiment binary.
 inline void banner(const std::string& id, const std::string& claim) {
   std::cout << "=====================================================\n"
             << id << "\n"
             << claim << "\n"
+            << "threads: " << report_threads()
+            << " (override with RRB_THREADS; results are thread-count"
+               " independent)\n"
             << "=====================================================\n";
 }
 

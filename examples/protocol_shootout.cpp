@@ -12,6 +12,7 @@
 #include "rrb/protocols/four_choice.hpp"
 #include "rrb/protocols/median_counter.hpp"
 #include "rrb/protocols/sequentialised.hpp"
+#include "rrb/sim/runner.hpp"
 #include "rrb/sim/trial.hpp"
 
 int main() {
@@ -20,7 +21,9 @@ int main() {
   const NodeId n = 1 << 13;
   const NodeId d = 10;
   std::cout << "protocol shootout on G(n = " << n << ", d = " << d
-            << "), 5 trials per protocol\n\n";
+            << "), 5 trials per protocol ("
+            << ParallelRunner::resolve_threads(RunnerConfig{})
+            << " worker threads; results are thread-count independent)\n\n";
 
   const GraphFactory graph = [=](Rng& rng) {
     return random_regular_simple(n, d, rng);

@@ -8,8 +8,11 @@
 ///                [--graph regular|gnp|hypercube|pa|FILE.edges]
 ///                [--n 16384] [--d 8] [--choices K] [--memory M]
 ///                [--failure P] [--alpha A] [--seed S] [--trials T]
+///                [--threads W] [--chunk C]
 ///
 /// With no arguments it runs the four-choice algorithm on G(2^14, 8).
+/// Trials run on the deterministic parallel runner: --threads only changes
+/// wall-clock time, never the printed numbers.
 
 #include <cstring>
 #include <fstream>
@@ -39,6 +42,7 @@ struct Options {
   double alpha = 1.5;
   std::uint64_t seed = 1;
   int trials = 3;
+  rrb::RunnerConfig runner;
 };
 
 void usage() {
@@ -48,7 +52,17 @@ void usage() {
       "                    [--graph regular|gnp|hypercube|pa|FILE.edges]\n"
       "                    [--n N] [--d D] [--choices K] [--memory M]\n"
       "                    [--failure P] [--alpha A] [--seed S] "
-      "[--trials T]\n";
+      "[--trials T]\n"
+      "                    [--threads W] [--chunk C]\n"
+      "\n"
+      "  --threads W  worker threads for the trial runner (default 0 = "
+      "auto:\n"
+      "               $RRB_THREADS if set, else one per hardware core; 1 = "
+      "sequential).\n"
+      "               Results are identical for every W — only wall-clock "
+      "time changes.\n"
+      "  --chunk C    consecutive trials per scheduling task (default 0 = "
+      "auto)\n";
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -69,8 +83,12 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (flag == "--alpha") opt.alpha = std::stod(next());
     else if (flag == "--seed") opt.seed = std::stoull(next());
     else if (flag == "--trials") opt.trials = std::stoi(next());
+    else if (flag == "--threads") opt.runner.threads = std::stoi(next());
+    else if (flag == "--chunk") opt.runner.chunk = std::stoi(next());
     else throw std::runtime_error("unknown flag: " + flag);
   }
+  if (opt.runner.threads < 0) throw std::runtime_error("--threads must be >= 0");
+  if (opt.runner.chunk < 0) throw std::runtime_error("--chunk must be >= 0");
   return true;
 }
 
@@ -174,6 +192,7 @@ int main(int argc, char** argv) {
   config.trials = opt.trials;
   config.seed = opt.seed;
   config.channel = channel;
+  config.runner = opt.runner;
 
   const TrialOutcome out = run_trials(graph_factory, protocol_factory,
                                       config);

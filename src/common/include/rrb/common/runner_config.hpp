@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file runner_config.hpp
+/// Scheduling knobs for the parallel trial runner (rrb/sim/runner.hpp).
+///
+/// The struct lives in common — below every other module — so that option
+/// structs anywhere in the stack (TrialConfig, TraceConfig,
+/// BroadcastOptions) can embed it without depending on sim, where the
+/// worker pool itself is implemented.
+
+namespace rrb {
+
+/// How repeated trials are scheduled across worker threads.
+///
+/// Whatever values are chosen, results are bit-identical to the
+/// sequential path: trial i's randomness depends only on (seed, i) — see
+/// Rng::fork — and per-trial results are reduced in trial order. Threads
+/// and chunking only change wall-clock time, never output.
+struct RunnerConfig {
+  /// Worker threads. 0 = automatic: $RRB_THREADS when set to a positive
+  /// integer, otherwise one per hardware core. 1 = run inline on the
+  /// calling thread (no pool is spawned).
+  int threads = 0;
+
+  /// Consecutive trials claimed per scheduling task. 0 = automatic
+  /// (currently 1, i.e. fully dynamic load balancing). Larger chunks
+  /// amortise scheduling overhead when trials are tiny.
+  int chunk = 0;
+};
+
+}  // namespace rrb

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "rrb/common/runner_config.hpp"
 #include "rrb/graph/graph.hpp"
 #include "rrb/phonecall/engine.hpp"
 #include "rrb/phonecall/protocol.hpp"
@@ -54,6 +55,13 @@ struct BroadcastOptions {
 
   /// Record per-round statistics into the result.
   bool record_rounds = false;
+
+  /// Trial count and scheduling for broadcast_trials() (rrb/sim/trial.hpp),
+  /// which repeats the scheme across a worker pool; trial i re-seeds from
+  /// (seed, i), so results are identical whatever `runner` says.
+  /// broadcast() itself is a single run and ignores both fields.
+  int trials = 1;
+  RunnerConfig runner;
 };
 
 /// Broadcast a message from `source` over `graph` and return the run

@@ -48,10 +48,19 @@ class Xoshiro256StarStar {
   std::array<std::uint64_t, 4> s_{};
 };
 
+/// Derive a stable 64-bit seed for a named sub-stream, e.g.
+/// `derive_seed(base, trial_index)`. A stateless double splitmix64 mix of
+/// (base, stream): deterministic, order-free, and platform-independent —
+/// the primitive behind Rng::fork and the persistent seeding contract
+/// "trial i's stream depends only on (seed, i)".
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base,
+                                        std::uint64_t stream);
+
 /// High-level random source. One instance per simulation trial.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 0xdeadbeefcafef00dULL) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed = 0xdeadbeefcafef00dULL)
+      : engine_(seed), seed_(seed) {}
 
   /// Raw 64 random bits.
   [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
@@ -99,18 +108,32 @@ class Rng {
 
   /// A fresh Rng whose stream is independent of this one (derived by
   /// hashing a drawn value; suitable for seeding per-trial generators).
+  ///
+  /// Note: split() advances this generator, so the child depends on how
+  /// many draws preceded it. For parallel work use fork(), whose streams
+  /// are a pure function of (seed, stream_id).
   [[nodiscard]] Rng split();
+
+  /// The RNG for sub-stream `stream_id`: a SplitMix-style derivation keyed
+  /// on (construction seed, stream_id) only. It does not consume or
+  /// observe this generator's state, so the result is independent of any
+  /// draws or other forks made before it — the property that makes
+  /// parallel trial execution bit-identical to sequential execution.
+  /// This is the library's seeding contract: trial i always runs on
+  /// Rng(seed).fork(i), whoever schedules it.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const {
+    return Rng(derive_seed(seed_, stream_id));
+  }
+
+  /// The seed this Rng was constructed with (forks derive from it).
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
   /// Access the raw engine (for <random> interop in tests).
   [[nodiscard]] Xoshiro256StarStar& engine() { return engine_; }
 
  private:
   Xoshiro256StarStar engine_;
+  std::uint64_t seed_;
 };
-
-/// Derive a stable 64-bit seed for a named sub-stream, e.g.
-/// `derive_seed(base, trial_index)`. Deterministic mixing via splitmix64.
-[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base,
-                                        std::uint64_t stream);
 
 }  // namespace rrb

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "rrb/common/runner_config.hpp"
 #include "rrb/graph/graph.hpp"
 #include "rrb/phonecall/engine.hpp"
 #include "rrb/rng/rng.hpp"
@@ -13,6 +14,11 @@
 /// phase-dynamics experiments (Lemmas 1–4, 8). For each round we record the
 /// quantities the paper's analysis tracks: |I(t)|, |I+(t)|, h(t) = |H(t)|,
 /// and h_i(t) = |{v in H(t) : v has >= i neighbours in H(t)}| for i = 1,4,5.
+///
+/// Trials run on the deterministic parallel runner (rrb/sim/runner.hpp):
+/// each trial records its own per-round trace from Rng(seed).fork(trial),
+/// and the traces are averaged in trial order afterwards, so the result is
+/// bit-identical for any RunnerConfig.
 
 namespace rrb {
 
@@ -35,6 +41,7 @@ struct TraceConfig {
   RunLimits limits;
   bool track_h_sets = true;      ///< compute h1/h4/h5 (O(m) per round)
   bool track_edge_usage = false; ///< compute |U(t)| (needs edge id map)
+  RunnerConfig runner;           ///< worker pool; never changes the output
 };
 
 /// Protocol factory as in trial.hpp, but graphs are provided by the caller

@@ -4,6 +4,8 @@
 #include <memory>
 #include <vector>
 
+#include "rrb/common/runner_config.hpp"
+#include "rrb/core/broadcast.hpp"
 #include "rrb/graph/graph.hpp"
 #include "rrb/phonecall/engine.hpp"
 #include "rrb/phonecall/protocol.hpp"
@@ -15,13 +17,22 @@
 /// Repeated-trial experiment driver: regenerates the random graph per trial
 /// (matching the paper's "random graph, random algorithm" probability
 /// space), runs a protocol from a random source, and aggregates.
+///
+/// Trials execute on the deterministic parallel runner (rrb/sim/runner.hpp):
+/// trial i draws every random bit from Rng(seed).fork(i) and results are
+/// reduced in trial order, so the outcome is bit-identical for any
+/// RunnerConfig — the sequential path is just threads = 1.
 
 namespace rrb {
 
 /// Builds a fresh graph for each trial. Receives the per-trial Rng.
+/// Invoked concurrently from worker threads, one call per trial: the
+/// callable must be reentrant (capture by value or reference state it only
+/// reads), which every pure generator factory already is.
 using GraphFactory = std::function<Graph(Rng&)>;
 
 /// Builds a fresh protocol instance per trial (protocols are stateful).
+/// Same reentrancy requirement as GraphFactory.
 using ProtocolFactory =
     std::function<std::unique_ptr<BroadcastProtocol>(const Graph&)>;
 
@@ -31,11 +42,12 @@ struct TrialConfig {
   ChannelConfig channel;
   RunLimits limits;
   bool random_source = true;  ///< random source per trial; node 0 otherwise
+  RunnerConfig runner;        ///< worker pool; never changes the output
 };
 
 /// Everything measured across the trials of one experiment cell.
 struct TrialOutcome {
-  std::vector<RunResult> runs;
+  std::vector<RunResult> runs;  ///< indexed by trial
   Summary rounds;            ///< rounds until the protocol stopped
   Summary completion_round;  ///< rounds until all nodes informed (only
                              ///< completed runs contribute)
@@ -50,5 +62,13 @@ struct TrialOutcome {
 [[nodiscard]] TrialOutcome run_trials(const GraphFactory& graph_factory,
                                       const ProtocolFactory& protocol_factory,
                                       const TrialConfig& config);
+
+/// Repeat a broadcast() scheme options.trials times on a fixed graph,
+/// scheduled by options.runner. Trial i runs a fresh protocol instance
+/// seeded from (options.seed, i); `source` fixes the originator, or pass
+/// kNoNode to draw a fresh uniform source per trial.
+[[nodiscard]] TrialOutcome broadcast_trials(const Graph& graph,
+                                            const BroadcastOptions& options,
+                                            NodeId source = kNoNode);
 
 }  // namespace rrb

@@ -1,0 +1,116 @@
+#include "rrb/sim/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "rrb/common/check.hpp"
+
+namespace rrb {
+
+namespace {
+
+/// $RRB_THREADS as a positive int, or 0 when unset/unparseable. Malformed
+/// values fall back to auto-detection rather than aborting a long sweep.
+int env_threads() {
+  const char* raw = std::getenv("RRB_THREADS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || v < 1 || v > 65536) return 0;
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+ParallelRunner::ParallelRunner(RunnerConfig config) : config_(config) {
+  RRB_REQUIRE(config_.threads >= 0, "RunnerConfig.threads must be >= 0");
+  RRB_REQUIRE(config_.chunk >= 0, "RunnerConfig.chunk must be >= 0");
+}
+
+int ParallelRunner::resolve_threads(const RunnerConfig& config) {
+  if (config.threads > 0) return config.threads;
+  if (const int env = env_threads(); env > 0) return env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ParallelRunner::resolved_chunk() const {
+  return config_.chunk > 0 ? config_.chunk : 1;
+}
+
+int ParallelRunner::num_chunks(int trials) const {
+  // 64-bit intermediate: chunk may be INT_MAX and trials + chunk - 1
+  // must not overflow.
+  const long long chunk = resolved_chunk();
+  return static_cast<int>((trials + chunk - 1) / chunk);
+}
+
+std::pair<int, int> ParallelRunner::chunk_bounds(int index, int trials) const {
+  RRB_REQUIRE(index >= 0 && index < num_chunks(trials),
+              "chunk index out of range");
+  const long long chunk = resolved_chunk();
+  const long long begin = index * chunk;
+  const long long end = std::min<long long>(trials, begin + chunk);
+  return {static_cast<int>(begin), static_cast<int>(end)};
+}
+
+void ParallelRunner::for_each_chunk(
+    int trials, const std::function<void(int, int, int)>& fn) const {
+  RRB_REQUIRE(trials >= 0, "trials must be >= 0");
+  RRB_REQUIRE(fn != nullptr, "for_each_chunk needs a callable");
+  if (trials == 0) return;
+
+  const int chunks = num_chunks(trials);
+  const int workers = std::min(chunks, resolve_threads(config_));
+
+  if (workers <= 1) {
+    for (int index = 0; index < chunks; ++index) {
+      const auto [begin, end] = chunk_bounds(index, trials);
+      fn(index, begin, end);
+    }
+    return;
+  }
+
+  // Dynamic scheduling: workers claim the next chunk off a shared counter.
+  // Which worker runs which chunk varies run to run; the caller's
+  // chunk-indexed slots make that invisible in the output.
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(chunks));
+  std::atomic<int> next{0};
+  std::atomic<bool> abort{false};
+  const auto work = [&]() {
+    while (!abort.load(std::memory_order_relaxed)) {
+      const int index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= chunks) return;
+      const auto [begin, end] = chunk_bounds(index, trials);
+      try {
+        fn(index, begin, end);
+      } catch (...) {
+        errors[static_cast<std::size_t>(index)] = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) pool.emplace_back(work);
+  for (std::thread& t : pool) t.join();
+
+  for (std::exception_ptr& error : errors)
+    if (error) std::rethrow_exception(error);
+}
+
+void ParallelRunner::for_each_trial(
+    int trials, const std::function<void(int)>& fn) const {
+  RRB_REQUIRE(fn != nullptr, "for_each_trial needs a callable");
+  for_each_chunk(trials, [&fn](int /*index*/, int begin, int end) {
+    for (int trial = begin; trial < end; ++trial) fn(trial);
+  });
+}
+
+}  // namespace rrb

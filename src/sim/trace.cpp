@@ -4,6 +4,7 @@
 
 #include "rrb/common/check.hpp"
 #include "rrb/phonecall/edge_ids.hpp"
+#include "rrb/sim/runner.hpp"
 
 namespace rrb {
 
@@ -42,6 +43,53 @@ void measure_sets(const Graph& g, std::span<const Round> informed_at,
   }
 }
 
+/// One trial's raw per-round values (not yet averaged). A pure function of
+/// (config, trial index): all randomness comes from Rng(seed).fork(trial).
+std::vector<SetTracePoint> trace_one_trial(
+    const TraceGraphFactory& graph_factory,
+    const TraceProtocolFactory& protocol_factory, const TraceConfig& config,
+    int trial) {
+  Rng rng = Rng(config.seed).fork(static_cast<std::uint64_t>(trial));
+  const Graph graph = graph_factory(rng);
+  auto protocol = protocol_factory(graph);
+
+  GraphTopology topo(graph);
+  PhoneCallEngine<GraphTopology> engine(topo, config.channel, rng);
+
+  EdgeIdMap edge_ids;
+  if (config.track_edge_usage) {
+    edge_ids = build_edge_id_map(graph);
+    engine.enable_edge_usage_tracking(edge_ids);
+  }
+
+  std::vector<SetTracePoint> local;
+  Count last_informed = 1;  // the source is informed before round 1
+  engine.set_round_observer([&](Round t, std::span<const Round> informed) {
+    const auto idx = static_cast<std::size_t>(t - 1);
+    if (local.size() <= idx) local.resize(idx + 1);
+    SetTracePoint& point = local[idx];
+    point.t = t;
+    Count informed_count = 0;
+    for (const Round r : informed)
+      if (r != kNever) ++informed_count;
+    point.informed += static_cast<double>(informed_count);
+    point.newly_informed +=
+        static_cast<double>(informed_count - last_informed);
+    point.uninformed +=
+        static_cast<double>(graph.num_nodes() - informed_count);
+    last_informed = informed_count;
+    if (config.track_h_sets || config.track_edge_usage)
+      measure_sets(graph, informed,
+                   config.track_edge_usage ? &engine.edge_used() : nullptr,
+                   config.track_edge_usage ? &edge_ids : nullptr, point);
+  });
+
+  const NodeId source =
+      static_cast<NodeId>(rng.uniform_u64(graph.num_nodes()));
+  (void)engine.run(*protocol, source, config.limits);
+  return local;
+}
+
 }  // namespace
 
 std::vector<SetTracePoint> trace_set_sizes(
@@ -49,50 +97,36 @@ std::vector<SetTracePoint> trace_set_sizes(
     const TraceProtocolFactory& protocol_factory, const TraceConfig& config) {
   RRB_REQUIRE(config.trials >= 1, "need at least one trial");
 
+  // Each trial fills its own slot; threads never touch shared state.
+  std::vector<std::vector<SetTracePoint>> per_trial(
+      static_cast<std::size_t>(config.trials));
+  ParallelRunner runner(config.runner);
+  runner.for_each_trial(config.trials, [&](int trial) {
+    per_trial[static_cast<std::size_t>(trial)] =
+        trace_one_trial(graph_factory, protocol_factory, config, trial);
+  });
+
+  // Sum in trial order — the same float addition order as a sequential
+  // run, so the averaged trace is byte-identical for any thread count.
   std::vector<SetTracePoint> trace;
   std::vector<int> contributions;  // trials contributing to each round
-  for (int trial = 0; trial < config.trials; ++trial) {
-    Rng rng(derive_seed(config.seed, static_cast<std::uint64_t>(trial)));
-    const Graph graph = graph_factory(rng);
-    auto protocol = protocol_factory(graph);
-
-    GraphTopology topo(graph);
-    PhoneCallEngine<GraphTopology> engine(topo, config.channel, rng);
-
-    EdgeIdMap edge_ids;
-    if (config.track_edge_usage) {
-      edge_ids = build_edge_id_map(graph);
-      engine.enable_edge_usage_tracking(edge_ids);
+  for (const std::vector<SetTracePoint>& local : per_trial) {
+    if (trace.size() < local.size()) {
+      trace.resize(local.size());
+      contributions.resize(local.size(), 0);
     }
-
-    Count last_informed = 1;  // the source is informed before round 1
-    engine.set_round_observer([&](Round t, std::span<const Round> informed) {
-      const auto idx = static_cast<std::size_t>(t - 1);
-      if (trace.size() <= idx) {
-        trace.resize(idx + 1);
-        contributions.resize(idx + 1, 0);
-      }
-      ++contributions[idx];
-      SetTracePoint& point = trace[idx];
-      point.t = t;
-      Count informed_count = 0;
-      for (const Round r : informed)
-        if (r != kNever) ++informed_count;
-      point.informed += static_cast<double>(informed_count);
-      point.newly_informed +=
-          static_cast<double>(informed_count - last_informed);
-      point.uninformed +=
-          static_cast<double>(graph.num_nodes() - informed_count);
-      last_informed = informed_count;
-      if (config.track_h_sets || config.track_edge_usage)
-        measure_sets(graph, informed,
-                     config.track_edge_usage ? &engine.edge_used() : nullptr,
-                     config.track_edge_usage ? &edge_ids : nullptr, point);
-    });
-
-    const NodeId source =
-        static_cast<NodeId>(rng.uniform_u64(graph.num_nodes()));
-    (void)engine.run(*protocol, source, config.limits);
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      SetTracePoint& point = trace[i];
+      point.t = local[i].t;
+      point.informed += local[i].informed;
+      point.newly_informed += local[i].newly_informed;
+      point.uninformed += local[i].uninformed;
+      point.h1 += local[i].h1;
+      point.h4 += local[i].h4;
+      point.h5 += local[i].h5;
+      point.unused_edge_nodes += local[i].unused_edge_nodes;
+      ++contributions[i];
+    }
   }
 
   for (std::size_t i = 0; i < trace.size(); ++i) {

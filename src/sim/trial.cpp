@@ -1,15 +1,39 @@
 #include "rrb/sim/trial.hpp"
 
 #include "rrb/common/check.hpp"
+#include "rrb/sim/runner.hpp"
 
 namespace rrb {
 
-TrialOutcome run_trials(const GraphFactory& graph_factory,
-                        const ProtocolFactory& protocol_factory,
-                        const TrialConfig& config) {
-  RRB_REQUIRE(config.trials >= 1, "need at least one trial");
+namespace {
 
-  TrialOutcome outcome;
+/// One trial, a pure function of (config, trial index): all randomness
+/// comes from Rng(seed).fork(trial), per the seeding contract.
+RunResult run_one_trial(const GraphFactory& graph_factory,
+                        const ProtocolFactory& protocol_factory,
+                        const TrialConfig& config, int trial) {
+  Rng rng = Rng(config.seed).fork(static_cast<std::uint64_t>(trial));
+  const Graph graph = graph_factory(rng);
+  RRB_REQUIRE(graph.num_nodes() >= 2, "trial graph too small");
+
+  auto protocol = protocol_factory(graph);
+  RRB_REQUIRE(protocol != nullptr, "protocol factory returned null");
+
+  GraphTopology topo(graph);
+  PhoneCallEngine<GraphTopology> engine(topo, config.channel, rng);
+  const NodeId source =
+      config.random_source
+          ? static_cast<NodeId>(rng.uniform_u64(graph.num_nodes()))
+          : 0;
+  return engine.run(*protocol, source, config.limits);
+}
+
+/// Per-chunk partial reduction. Workers fill one Partials each (trials in
+/// ascending order within the chunk); merging the chunks in chunk order
+/// then replays the exact sequential sample order, so the resulting
+/// Summaries are byte-identical whatever the schedule was.
+struct Partials {
+  std::vector<RunResult> runs;
   SummaryAccumulator rounds;
   SummaryAccumulator completion;
   SummaryAccumulator total_tx;
@@ -18,22 +42,7 @@ TrialOutcome run_trials(const GraphFactory& graph_factory,
   SummaryAccumulator pull_tx;
   int completed = 0;
 
-  for (int trial = 0; trial < config.trials; ++trial) {
-    Rng rng(derive_seed(config.seed, static_cast<std::uint64_t>(trial)));
-    const Graph graph = graph_factory(rng);
-    RRB_REQUIRE(graph.num_nodes() >= 2, "trial graph too small");
-
-    auto protocol = protocol_factory(graph);
-    RRB_REQUIRE(protocol != nullptr, "protocol factory returned null");
-
-    GraphTopology topo(graph);
-    PhoneCallEngine<GraphTopology> engine(topo, config.channel, rng);
-    const NodeId source =
-        config.random_source
-            ? static_cast<NodeId>(rng.uniform_u64(graph.num_nodes()))
-            : 0;
-    const RunResult run = engine.run(*protocol, source, config.limits);
-
+  void add(RunResult&& run) {
     rounds.add(static_cast<double>(run.rounds));
     total_tx.add(static_cast<double>(run.total_tx()));
     tx_per_node.add(run.tx_per_node());
@@ -43,18 +52,86 @@ TrialOutcome run_trials(const GraphFactory& graph_factory,
       ++completed;
       completion.add(static_cast<double>(run.completion_round));
     }
-    outcome.runs.push_back(run);
+    runs.push_back(std::move(run));
   }
 
-  outcome.rounds = rounds.finish();
-  outcome.completion_round = completion.finish();
-  outcome.total_tx = total_tx.finish();
-  outcome.tx_per_node = tx_per_node.finish();
-  outcome.push_tx = push_tx.finish();
-  outcome.pull_tx = pull_tx.finish();
-  outcome.completion_rate =
-      static_cast<double>(completed) / static_cast<double>(config.trials);
-  return outcome;
+  void merge(Partials&& other) {
+    runs.insert(runs.end(), std::make_move_iterator(other.runs.begin()),
+                std::make_move_iterator(other.runs.end()));
+    rounds.merge(other.rounds);
+    completion.merge(other.completion);
+    total_tx.merge(other.total_tx);
+    tx_per_node.merge(other.tx_per_node);
+    push_tx.merge(other.push_tx);
+    pull_tx.merge(other.pull_tx);
+    completed += other.completed;
+  }
+
+  [[nodiscard]] TrialOutcome finish(int trials) && {
+    TrialOutcome outcome;
+    outcome.runs = std::move(runs);
+    outcome.rounds = rounds.finish();
+    outcome.completion_round = completion.finish();
+    outcome.total_tx = total_tx.finish();
+    outcome.tx_per_node = tx_per_node.finish();
+    outcome.push_tx = push_tx.finish();
+    outcome.pull_tx = pull_tx.finish();
+    outcome.completion_rate =
+        static_cast<double>(completed) / static_cast<double>(trials);
+    return outcome;
+  }
+};
+
+/// Shared driver: run `trial_body(trial)` for every trial on the pool and
+/// reduce in trial order.
+template <typename TrialBody>
+TrialOutcome reduce_trials(int trials, const RunnerConfig& runner_config,
+                           const TrialBody& trial_body) {
+  ParallelRunner runner(runner_config);
+  std::vector<Partials> partials(
+      static_cast<std::size_t>(runner.num_chunks(trials)));
+  runner.for_each_chunk(trials, [&](int index, int begin, int end) {
+    Partials& chunk = partials[static_cast<std::size_t>(index)];
+    for (int trial = begin; trial < end; ++trial)
+      chunk.add(trial_body(trial));
+  });
+
+  Partials all;
+  for (Partials& chunk : partials) all.merge(std::move(chunk));
+  return std::move(all).finish(trials);
+}
+
+}  // namespace
+
+TrialOutcome run_trials(const GraphFactory& graph_factory,
+                        const ProtocolFactory& protocol_factory,
+                        const TrialConfig& config) {
+  RRB_REQUIRE(config.trials >= 1, "need at least one trial");
+  return reduce_trials(config.trials, config.runner, [&](int trial) {
+    return run_one_trial(graph_factory, protocol_factory, config, trial);
+  });
+}
+
+TrialOutcome broadcast_trials(const Graph& graph,
+                              const BroadcastOptions& options, NodeId source) {
+  RRB_REQUIRE(options.trials >= 1, "need at least one trial");
+  RRB_REQUIRE(source == kNoNode || source < graph.num_nodes(),
+              "source out of range");
+  RunLimits limits;
+  limits.max_rounds = options.max_rounds;
+  limits.record_rounds = options.record_rounds;
+
+  return reduce_trials(options.trials, options.runner, [&](int trial) {
+    Rng rng = Rng(options.seed).fork(static_cast<std::uint64_t>(trial));
+    SchemeParts parts = make_scheme(graph, options);
+    GraphTopology topo(graph);
+    PhoneCallEngine<GraphTopology> engine(topo, parts.channel, rng);
+    const NodeId from =
+        source != kNoNode
+            ? source
+            : static_cast<NodeId>(rng.uniform_u64(graph.num_nodes()));
+    return engine.run(*parts.protocol, from, limits);
+  });
 }
 
 }  // namespace rrb

@@ -171,5 +171,82 @@ TEST_P(FailureRateGrid, MeasuredRateMatchesConfigured) {
 INSTANTIATE_TEST_SUITE_P(Grid, FailureRateGrid,
                          ::testing::Values(0.05, 0.1, 0.2, 0.4, 0.6, 0.9));
 
+/// Randomised invariant checks on configuration-model *multigraphs* (the
+/// paper's G(n, d) probability space, self-loops and parallel edges
+/// included): each case derives (n, d, seed) pseudo-randomly from its
+/// index, so the suite explores fresh instances while staying fully
+/// reproducible. Designed to run under the asan preset, where the observer
+/// walks catch any engine memory misuse.
+class ConfigModelInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConfigModelInvariants, InformedSetMonotoneAndConsistent) {
+  Rng meta(0xc0f1 + static_cast<std::uint64_t>(GetParam()) * 7919);
+  // Even n keeps n*d even, which the configuration model's stub pairing
+  // requires for every d.
+  const NodeId n = static_cast<NodeId>(32 + 2 * meta.uniform_u64(240));
+  const NodeId d = static_cast<NodeId>(3 + meta.uniform_u64(10));
+  const std::uint64_t seed = meta.next_u64();
+
+  Rng rng = Rng(seed).fork(0);
+  const Graph g = configuration_model(n, d, rng);
+  GraphTopology topo(g);
+  ChannelConfig cfg;
+  cfg.num_choices = static_cast<int>(1 + meta.uniform_u64(4));
+  PhoneCallEngine<GraphTopology> engine(topo, cfg, rng);
+
+  RunLimits limits;
+  limits.max_rounds = static_cast<Round>(20 + meta.uniform_u64(200));
+
+  // Monotonicity: informed nodes stay informed with an unchanged stamp,
+  // new stamps always equal the current round, |I(t)| never shrinks.
+  std::vector<Round> previous(n, kNever);
+  previous[0] = 0;  // the source below
+  Count previous_count = 1;
+  Round last_round = 0;
+  engine.set_round_observer([&](Round t, std::span<const Round> informed) {
+    EXPECT_EQ(t, last_round + 1);
+    last_round = t;
+    Count count = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (previous[v] != kNever) {
+        EXPECT_EQ(informed[v], previous[v]);
+      } else if (informed[v] != kNever) {
+        EXPECT_EQ(informed[v], t);
+      }
+      if (informed[v] != kNever) ++count;
+      previous[v] = informed[v];
+    }
+    EXPECT_GE(count, previous_count);
+    previous_count = count;
+  });
+
+  PushPullProtocol proto;
+  const RunResult r = engine.run(proto, NodeId{0}, limits);
+
+  // Round accounting respects RunLimits.
+  EXPECT_GE(r.rounds, 1);
+  EXPECT_LE(r.rounds, limits.max_rounds);
+  EXPECT_EQ(r.rounds, last_round);
+  if (r.completion_round != kNever) {
+    EXPECT_LE(r.completion_round, r.rounds);
+  }
+
+  // informed_at is kNever exactly off the informed set, and informed
+  // stamps are genuine round numbers.
+  Count informed_count = 0;
+  for (const Round at : engine.informed_at()) {
+    if (at == kNever) continue;
+    ++informed_count;
+    EXPECT_GE(at, 0);
+    EXPECT_LE(at, r.rounds);
+  }
+  EXPECT_EQ(informed_count, r.final_informed);
+  EXPECT_EQ(informed_count, previous_count);
+  EXPECT_EQ(r.all_informed, informed_count >= r.alive_at_end);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ConfigModelInvariants,
+                         ::testing::Range(0, 12));
+
 }  // namespace
 }  // namespace rrb

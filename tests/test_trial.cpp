@@ -134,5 +134,62 @@ TEST(Summaries, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(s.mean, 0.0);
 }
 
+TEST(Summaries, AccumulatorMergeIsAssociative) {
+  // merge() is how per-worker accumulators combine; associativity (plus
+  // merging in chunk order) is what makes the parallel reduction
+  // deterministic. Values chosen so any reordering or double-count would
+  // change the sequence.
+  SummaryAccumulator a;
+  a.add(1.0);
+  a.add(2.0);
+  SummaryAccumulator b;
+  b.add(3.0);
+  SummaryAccumulator c;
+  c.add(4.0);
+  c.add(5.0);
+
+  SummaryAccumulator left_first = a;   // (a ⊕ b) ⊕ c
+  left_first.merge(b);
+  left_first.merge(c);
+
+  SummaryAccumulator right_first = a;  // a ⊕ (b ⊕ c)
+  SummaryAccumulator bc = b;
+  bc.merge(c);
+  right_first.merge(bc);
+
+  const std::vector<double> expected{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(left_first.values(), expected);
+  EXPECT_EQ(right_first.values(), expected);
+  EXPECT_DOUBLE_EQ(left_first.finish().mean, right_first.finish().mean);
+  EXPECT_DOUBLE_EQ(left_first.finish().median, 3.0);
+}
+
+TEST(Summaries, AccumulatorMergeWithEmptySides) {
+  SummaryAccumulator empty;
+  SummaryAccumulator filled;
+  filled.add(7.0);
+  SummaryAccumulator left = empty;
+  left.merge(filled);
+  EXPECT_EQ(left.values(), std::vector<double>{7.0});
+  SummaryAccumulator right = filled;
+  right.merge(empty);
+  EXPECT_EQ(right.values(), std::vector<double>{7.0});
+}
+
+TEST(Trials, RunnerConfigPropagatesWithoutChangingResults) {
+  TrialConfig sequential = quick_config(6);
+  sequential.runner.threads = 1;
+  TrialConfig pooled = quick_config(6);
+  pooled.runner.threads = 4;
+  pooled.runner.chunk = 2;
+  const TrialOutcome a =
+      run_trials(regular_factory(128, 4), push_factory(), sequential);
+  const TrialOutcome b =
+      run_trials(regular_factory(128, 4), push_factory(), pooled);
+  EXPECT_DOUBLE_EQ(a.rounds.mean, b.rounds.mean);
+  EXPECT_DOUBLE_EQ(a.total_tx.mean, b.total_tx.mean);
+  EXPECT_DOUBLE_EQ(a.tx_per_node.stddev, b.tx_per_node.stddev);
+}
+
 }  // namespace
 }  // namespace rrb
