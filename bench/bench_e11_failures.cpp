@@ -99,12 +99,14 @@ int main() {
       FourChoiceConfig fc;
       fc.n_estimate = n;
       fc.alpha = 2.0;
-      FourChoiceBroadcast four_alg(fc);
-      SequentialisedFourChoice seq_alg(fc);
-      BroadcastProtocol& alg =
-          sequentialised ? static_cast<BroadcastProtocol&>(seq_alg)
-                         : static_cast<BroadcastProtocol&>(four_alg);
-      const RunResult r = engine.run(alg, NodeId{0}, RunLimits{});
+      RunResult r;
+      if (sequentialised) {
+        SequentialisedFourChoice seq_alg(fc);
+        r = engine.run(seq_alg, NodeId{0}, RunLimits{});
+      } else {
+        FourChoiceBroadcast four_alg(fc);
+        r = engine.run(four_alg, NodeId{0}, RunLimits{});
+      }
       const Count healthy = n - faulty.size();
       Count healthy_informed = 0;
       std::unordered_set<NodeId> faulty_set(faulty.begin(), faulty.end());

@@ -16,6 +16,7 @@ int main() {
   Table table({"n", "log2(n)", "lglg(n)", "4c rounds", "4c done@", "4c ok",
                "4c tx/node", "push tx/node", "push/4c"});
   table.set_title("Algorithm 1 vs push baseline (5 trials each)");
+  BenchReport json("e1_theorem2_smalld");
 
   std::vector<double> lgs, lglgs, rounds, fc_tx, push_tx;
   for (const NodeId n : {1U << 10, 1U << 11, 1U << 12, 1U << 13, 1U << 14,
@@ -47,6 +48,14 @@ int main() {
     table.add(push.tx_per_node.mean, 2);
     table.add(push.tx_per_node.mean / fc.tx_per_node.mean, 2);
 
+    json.row()
+        .set("n", static_cast<std::uint64_t>(n))
+        .set("fc_rounds_mean", fc.rounds.mean)
+        .set("fc_completion_mean", fc.completion_round.mean)
+        .set("fc_completion_rate", fc.completion_rate)
+        .set("fc_tx_per_node", fc.tx_per_node.mean)
+        .set("push_tx_per_node", push.tx_per_node.mean);
+
     lgs.push_back(lg);
     lglgs.push_back(lglg);
     rounds.push_back(fc.completion_round.mean);
@@ -69,6 +78,7 @@ int main() {
     std::cout << "extrapolated crossover (4-choice cheaper in absolute "
                  "terms): n ~ 2^" << cross << "\n";
   }
+  json.write();
   std::cout << "\nexpected shape: 4-choice tx/node is essentially flat in n "
                "(its growth is the\nlog log n term), while push tx/node "
                "climbs with log n — the separation the\npaper proves. At "

@@ -54,7 +54,7 @@ int main() {
     const TrialOutcome out = run_trials(
         regular_graph(n, d),
         [horizon](const Graph&) {
-          return std::make_unique<FixedHorizonPush>(horizon);
+          return make_protocol<FixedHorizonPush>(horizon);
         },
         cfg);
     mc.begin_row();
@@ -79,7 +79,7 @@ int main() {
           ThrottledConfig tc;
           tc.n_estimate = n;
           tc.degree = d;
-          return std::make_unique<ThrottledPushPull>(tc);
+          return make_protocol<ThrottledPushPull>(tc);
         },
         cfg);
     ThrottledConfig tc;

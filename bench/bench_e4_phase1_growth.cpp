@@ -24,7 +24,7 @@ void run_for_degree(NodeId n, NodeId d) {
       [n](const Graph&) {
         FourChoiceConfig c;
         c.n_estimate = n;
-        return std::make_unique<FourChoiceBroadcast>(c);
+        return make_protocol<FourChoiceBroadcast>(c);
       },
       cfg);
 

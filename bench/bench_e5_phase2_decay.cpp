@@ -22,7 +22,7 @@ void decay_for_degree(NodeId n, NodeId d) {
   cfg.limits.stop_when_all_informed = true;
   const auto trace = trace_set_sizes(
       regular_graph(n, d),
-      [](const Graph&) { return std::make_unique<PushProtocol>(); }, cfg);
+      [](const Graph&) { return make_protocol<PushProtocol>(); }, cfg);
 
   Table table({"t", "h(t)", "h(t)/h(t-1)", "in-regime"});
   table.set_title("phase-2 dynamics (all informed push x4), n = " +
@@ -73,7 +73,7 @@ int main() {
       [n](const Graph&) {
         FourChoiceConfig c;
         c.n_estimate = n;
-        return std::make_unique<FourChoiceBroadcast>(c);
+        return make_protocol<FourChoiceBroadcast>(c);
       },
       cfg);
   Table table({"t", "phase", "h(t)"});

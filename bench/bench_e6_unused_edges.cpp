@@ -30,7 +30,7 @@ int main() {
       [n](const Graph&) {
         FourChoiceConfig c;
         c.n_estimate = n;
-        return std::make_unique<FourChoiceBroadcast>(c);
+        return make_protocol<FourChoiceBroadcast>(c);
       },
       cfg);
 

@@ -41,14 +41,14 @@ int main() {
   rows.push_back({"push (1 choice)", one, push_protocol()});
   rows.push_back({"push, fixed horizon", one, [n](const Graph& g) {
                     const auto deg = static_cast<int>(*g.regular_degree());
-                    return std::make_unique<FixedHorizonPush>(
+                    return make_protocol<FixedHorizonPush>(
                         make_push_horizon(n, deg));
                   }});
   rows.push_back({"throttled push&pull [11]", one, [n, d](const Graph&) {
                     ThrottledConfig tc;
                     tc.n_estimate = n;
                     tc.degree = d;
-                    return std::make_unique<ThrottledPushPull>(tc);
+                    return make_protocol<ThrottledPushPull>(tc);
                   }});
   rows.push_back({"pull (1 choice)", one, pull_protocol()});
   rows.push_back({"push&pull (1 choice)", one, push_pull_protocol()});
@@ -62,6 +62,9 @@ int main() {
                "pull tx"});
   table.set_title("5 trials each; oracle termination for the baselines, "
                   "self-termination otherwise");
+  BenchReport json("e8_protocol_comparison");
+  json.set("n", static_cast<std::uint64_t>(n))
+      .set("d", static_cast<std::uint64_t>(d));
   for (const Row& row : rows) {
     TrialConfig cfg;
     cfg.trials = 5;
@@ -77,8 +80,17 @@ int main() {
     table.add(out.tx_per_node.mean, 2);
     table.add(out.push_tx.mean, 0);
     table.add(out.pull_tx.mean, 0);
+    json.row()
+        .set("protocol", row.name)
+        .set("rounds_mean", out.rounds.mean)
+        .set("completion_mean", out.completion_round.mean)
+        .set("completion_rate", out.completion_rate)
+        .set("tx_per_node", out.tx_per_node.mean)
+        .set("push_tx_mean", out.push_tx.mean)
+        .set("pull_tx_mean", out.pull_tx.mean);
   }
   std::cout << table << "\n";
+  json.write();
   std::cout
       << "how to read this: 'done@' is when everyone is informed; 'rounds' "
          "is when the\nprotocol itself stops (baselines use oracle stop, so "

@@ -3,12 +3,23 @@
 /// Shared helpers for the experiment harness binaries (bench_e1 .. e17).
 /// Every binary runs argument-free with laptop-scale defaults and prints
 /// paper-style tables; EXPERIMENTS.md records the claim each one checks.
+///
+/// Besides the tables, every bench can emit a machine-readable
+/// BENCH_<name>.json (see BenchReport below) so the repo accumulates a
+/// bench trajectory across PRs: wall time, thread count, git revision and
+/// whatever per-case metrics the bench adds.
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "rrb/analysis/fit.hpp"
 #include "rrb/common/math.hpp"
@@ -23,6 +34,11 @@
 #include "rrb/sim/runner.hpp"
 #include "rrb/sim/trace.hpp"
 #include "rrb/sim/trial.hpp"
+
+// Git revision baked in by bench/CMakeLists.txt (git describe --always).
+#ifndef RRB_GIT_DESCRIBE
+#define RRB_GIT_DESCRIBE "unknown"
+#endif
 
 namespace rrb::bench {
 
@@ -45,6 +61,139 @@ inline void banner(const std::string& id, const std::string& claim) {
             << "=====================================================\n";
 }
 
+// ---- Machine-readable bench trajectory ------------------------------------
+
+/// One flat JSON object: ordered string/number/bool fields.
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, quote(value));
+    return *this;
+  }
+  JsonObject& set(const std::string& key, const char* value) {
+    return set(key, std::string(value));
+  }
+  JsonObject& set(const std::string& key, double value) {
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    fields_.emplace_back(key, os.str());
+    return *this;
+  }
+  JsonObject& set(const std::string& key, std::uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonObject& set(const std::string& key, int value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonObject& set(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+    return *this;
+  }
+
+  void write(std::ostream& os, int indent) const {
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    os << "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i != 0) os << ",";
+      os << "\n" << pad << "  \"" << fields_[i].first
+         << "\": " << fields_[i].second;
+    }
+    os << "\n" << pad << "}";
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Accumulates a bench's machine-readable results and writes
+/// `BENCH_<name>.json` (into $RRB_BENCH_JSON_DIR, default the working
+/// directory) when write() is called — alongside, never instead of, the
+/// human-readable tables. Standard fields (bench name, git revision,
+/// thread count, wall time) are filled automatically so trajectory files
+/// from different PRs are comparable.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  /// Add a top-level scalar (e.g. a fitted slope).
+  template <typename T>
+  BenchReport& set(const std::string& key, T value) {
+    top_.set(key, value);
+    return *this;
+  }
+
+  /// Append a per-case row; fill in the returned object.
+  JsonObject& row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Write BENCH_<name>.json and report the path on stdout. Returns the
+  /// path written.
+  std::string write() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(elapsed).count();
+
+    std::string dir = ".";
+    if (const char* env = std::getenv("RRB_BENCH_JSON_DIR");
+        env != nullptr && *env != '\0')
+      dir = env;
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+
+    JsonObject header;
+    header.set("bench", name_)
+        .set("git", RRB_GIT_DESCRIBE)
+        .set("threads", report_threads())
+        .set("wall_ms", wall_ms);
+
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "warning: cannot write " << path << "\n";
+      return path;
+    }
+    os << "{\n  \"meta\": ";
+    header.write(os, 2);
+    os << ",\n  \"top\": ";
+    top_.write(os, 2);
+    os << ",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i != 0) os << ",";
+      os << "\n    ";
+      rows_[i].write(os, 4);
+    }
+    os << (rows_.empty() ? "]" : "\n  ]") << "\n}\n";
+    std::cout << "bench json: " << path << "\n";
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  JsonObject top_;
+  std::vector<JsonObject> rows_;
+};
+
+// ---- Factories -------------------------------------------------------------
+
 inline GraphFactory regular_graph(NodeId n, NodeId d) {
   return [n, d](Rng& rng) { return random_regular_simple(n, d, rng); };
 }
@@ -59,7 +208,7 @@ inline ProtocolFactory four_choice_protocol(std::uint64_t n_estimate,
     FourChoiceConfig cfg;
     cfg.n_estimate = n_estimate;
     cfg.alpha = alpha;
-    return std::make_unique<FourChoiceBroadcast>(cfg);
+    return make_protocol<FourChoiceBroadcast>(cfg);
   };
 }
 
@@ -69,20 +218,20 @@ inline ProtocolFactory four_choice_large_d_protocol(std::uint64_t n_estimate,
     FourChoiceConfig cfg;
     cfg.n_estimate = n_estimate;
     cfg.alpha = alpha;
-    return std::make_unique<FourChoiceLargeDegree>(cfg);
+    return make_protocol<FourChoiceLargeDegree>(cfg);
   };
 }
 
 inline ProtocolFactory push_protocol() {
-  return [](const Graph&) { return std::make_unique<PushProtocol>(); };
+  return [](const Graph&) { return make_protocol<PushProtocol>(); };
 }
 
 inline ProtocolFactory pull_protocol() {
-  return [](const Graph&) { return std::make_unique<PullProtocol>(); };
+  return [](const Graph&) { return make_protocol<PullProtocol>(); };
 }
 
 inline ProtocolFactory push_pull_protocol() {
-  return [](const Graph&) { return std::make_unique<PushPullProtocol>(); };
+  return [](const Graph&) { return make_protocol<PushPullProtocol>(); };
 }
 
 inline ProtocolFactory sequentialised_protocol(std::uint64_t n_estimate,
@@ -91,7 +240,7 @@ inline ProtocolFactory sequentialised_protocol(std::uint64_t n_estimate,
     FourChoiceConfig cfg;
     cfg.n_estimate = n_estimate;
     cfg.alpha = alpha;
-    return std::make_unique<SequentialisedFourChoice>(cfg);
+    return make_protocol<SequentialisedFourChoice>(cfg);
   };
 }
 
@@ -99,7 +248,7 @@ inline ProtocolFactory median_counter_protocol(std::uint64_t n_estimate) {
   return [n_estimate](const Graph&) {
     MedianCounterConfig cfg;
     cfg.n_estimate = n_estimate;
-    return std::make_unique<MedianCounterProtocol>(cfg);
+    return make_protocol<MedianCounterProtocol>(cfg);
   };
 }
 

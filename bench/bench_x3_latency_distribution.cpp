@@ -14,7 +14,8 @@ using namespace rrb::bench;
 
 namespace {
 
-void latency_histogram(const std::string& name, BroadcastProtocol& proto,
+template <ProtocolImpl ProtocolT>
+void latency_histogram(const std::string& name, ProtocolT& proto,
                        const Graph& g, const ChannelConfig& chan,
                        std::uint64_t seed) {
   GraphTopology topo(g);

@@ -41,9 +41,9 @@ int main() {
   ChannelConfig channels;
   channels.num_choices = 4;
   PhoneCallEngine<DynamicOverlay> engine(overlay, channels, rng);
-  // Newcomers reusing a departed peer's slot must start uninformed.
-  driver.set_join_callback([&](NodeId v) { engine.reset_node(v); });
-  engine.set_round_hook([&](Round t) { driver.apply(t); });
+  // Newcomers reusing a departed peer's slot must start uninformed, and
+  // departures feed the engine's incremental informed-alive bookkeeping.
+  attach_churn(engine, driver);
 
   const NodeId announcer = overlay.random_alive(rng);
   std::printf("peer %u announces a new file...\n\n", announcer);

@@ -44,29 +44,29 @@ int main() {
 
   std::vector<Contender> contenders;
   contenders.push_back({"push", one_choice, [](const Graph&) {
-                          return std::make_unique<PushProtocol>();
+                          return make_protocol<PushProtocol>();
                         }});
   contenders.push_back({"pull", one_choice, [](const Graph&) {
-                          return std::make_unique<PullProtocol>();
+                          return make_protocol<PullProtocol>();
                         }});
   contenders.push_back({"push&pull", one_choice, [](const Graph&) {
-                          return std::make_unique<PushPullProtocol>();
+                          return make_protocol<PushPullProtocol>();
                         }});
   contenders.push_back({"median-counter", one_choice, [n](const Graph&) {
                           MedianCounterConfig cfg;
                           cfg.n_estimate = n;
-                          return std::make_unique<MedianCounterProtocol>(cfg);
+                          return make_protocol<MedianCounterProtocol>(cfg);
                         }});
   contenders.push_back({"four-choice (Alg 1)", four_choices,
                         [n](const Graph&) {
                           FourChoiceConfig cfg;
                           cfg.n_estimate = n;
-                          return std::make_unique<FourChoiceBroadcast>(cfg);
+                          return make_protocol<FourChoiceBroadcast>(cfg);
                         }});
   contenders.push_back({"sequentialised (fn.2)", memory3, [n](const Graph&) {
                           FourChoiceConfig cfg;
                           cfg.n_estimate = n;
-                          return std::make_unique<SequentialisedFourChoice>(
+                          return make_protocol<SequentialisedFourChoice>(
                               cfg);
                         }});
 

@@ -7,8 +7,8 @@
 ///   simulate_cli [--protocol push|pull|push-pull|median|four-choice|seq]
 ///                [--graph regular|gnp|hypercube|pa|FILE.edges]
 ///                [--n 16384] [--d 8] [--choices K] [--memory M]
-///                [--failure P] [--alpha A] [--seed S] [--trials T]
-///                [--threads W] [--chunk C]
+///                [--quasirandom] [--failure P] [--alpha A] [--seed S]
+///                [--trials T] [--threads W] [--chunk C]
 ///
 /// With no arguments it runs the four-choice algorithm on G(2^14, 8).
 /// Trials run on the deterministic parallel runner: --threads only changes
@@ -38,6 +38,7 @@ struct Options {
   rrb::NodeId d = 8;
   int choices = -1;   // -1 = protocol default
   int memory = -1;    // -1 = protocol default
+  bool quasirandom = false;
   double failure = 0.0;
   double alpha = 1.5;
   std::uint64_t seed = 1;
@@ -51,10 +52,16 @@ void usage() {
       "four-choice|seq]\n"
       "                    [--graph regular|gnp|hypercube|pa|FILE.edges]\n"
       "                    [--n N] [--d D] [--choices K] [--memory M]\n"
-      "                    [--failure P] [--alpha A] [--seed S] "
-      "[--trials T]\n"
+      "                    [--quasirandom] [--failure P] [--alpha A] "
+      "[--seed S] [--trials T]\n"
       "                    [--threads W] [--chunk C]\n"
       "\n"
+      "  --quasirandom  quasirandom channel selection "
+      "(Doerr-Friedrich-Sauerwald):\n"
+      "               each node walks its neighbour list cyclically from a "
+      "random start\n"
+      "               instead of sampling. Mutually exclusive with a "
+      "positive --memory.\n"
       "  --threads W  worker threads for the trial runner (default 0 = "
       "auto:\n"
       "               $RRB_THREADS if set, else one per hardware core; 1 = "
@@ -79,6 +86,7 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (flag == "--d") opt.d = static_cast<rrb::NodeId>(std::stoul(next()));
     else if (flag == "--choices") opt.choices = std::stoi(next());
     else if (flag == "--memory") opt.memory = std::stoi(next());
+    else if (flag == "--quasirandom") opt.quasirandom = true;
     else if (flag == "--failure") opt.failure = std::stod(next());
     else if (flag == "--alpha") opt.alpha = std::stod(next());
     else if (flag == "--seed") opt.seed = std::stoull(next());
@@ -146,21 +154,21 @@ int main(int argc, char** argv) {
   ProtocolFactory protocol_factory;
   if (opt.protocol == "push") {
     protocol_factory = [](const Graph&) {
-      return std::make_unique<PushProtocol>();
+      return make_protocol<PushProtocol>();
     };
   } else if (opt.protocol == "pull") {
     protocol_factory = [](const Graph&) {
-      return std::make_unique<PullProtocol>();
+      return make_protocol<PullProtocol>();
     };
   } else if (opt.protocol == "push-pull") {
     protocol_factory = [](const Graph&) {
-      return std::make_unique<PushPullProtocol>();
+      return make_protocol<PushPullProtocol>();
     };
   } else if (opt.protocol == "median") {
     protocol_factory = [&](const Graph&) {
       MedianCounterConfig cfg;
       cfg.n_estimate = opt.n;
-      return std::make_unique<MedianCounterProtocol>(cfg);
+      return make_protocol<MedianCounterProtocol>(cfg);
     };
   } else if (opt.protocol == "four-choice") {
     channel.num_choices = 4;
@@ -168,7 +176,7 @@ int main(int argc, char** argv) {
       FourChoiceConfig cfg;
       cfg.n_estimate = opt.n;
       cfg.alpha = opt.alpha;
-      return std::make_unique<FourChoiceBroadcast>(cfg);
+      return make_protocol<FourChoiceBroadcast>(cfg);
     };
   } else if (opt.protocol == "seq") {
     channel.num_choices = 1;
@@ -177,7 +185,7 @@ int main(int argc, char** argv) {
       FourChoiceConfig cfg;
       cfg.n_estimate = opt.n;
       cfg.alpha = opt.alpha;
-      return std::make_unique<SequentialisedFourChoice>(cfg);
+      return make_protocol<SequentialisedFourChoice>(cfg);
     };
   } else {
     std::cerr << "error: unknown protocol " << opt.protocol << "\n";
@@ -186,7 +194,13 @@ int main(int argc, char** argv) {
   }
   if (opt.choices > 0) channel.num_choices = opt.choices;
   if (opt.memory >= 0) channel.memory = opt.memory;
+  channel.quasirandom = opt.quasirandom;
   channel.failure_prob = opt.failure;
+  if (channel.quasirandom && channel.memory > 0) {
+    std::cerr << "error: --quasirandom cannot be combined with a positive "
+                 "memory window (use --memory 0 with seq)\n";
+    return 2;
+  }
 
   TrialConfig config;
   config.trials = opt.trials;

@@ -1,14 +1,9 @@
 #include "rrb/core/broadcast.hpp"
 
-#include <cmath>
 #include <string>
 
 #include "rrb/common/check.hpp"
-#include "rrb/protocols/baselines.hpp"
-#include "rrb/protocols/four_choice.hpp"
-#include "rrb/protocols/median_counter.hpp"
-#include "rrb/protocols/sequentialised.hpp"
-#include "rrb/protocols/throttled.hpp"
+#include "rrb/core/scheme_dispatch.hpp"
 
 namespace rrb {
 
@@ -32,92 +27,31 @@ const char* scheme_name(BroadcastScheme scheme) {
 }
 
 SchemeParts make_scheme(const Graph& graph, const BroadcastOptions& options) {
-  RRB_REQUIRE(graph.num_nodes() >= 2, "broadcast needs >= 2 nodes");
-  const std::uint64_t n_est =
-      options.n_estimate != 0 ? options.n_estimate : graph.num_nodes();
-
-  SchemeParts parts;
-  parts.channel.failure_prob = options.failure_prob;
-
-  switch (options.scheme) {
-    case BroadcastScheme::kPush:
-      parts.protocol = std::make_unique<PushProtocol>();
-      break;
-    case BroadcastScheme::kPull:
-      parts.protocol = std::make_unique<PullProtocol>();
-      break;
-    case BroadcastScheme::kPushPull:
-      parts.protocol = std::make_unique<PushPullProtocol>();
-      break;
-    case BroadcastScheme::kFixedHorizonPush: {
-      // Horizon needs the degree; fall back to the mean for irregular
-      // graphs (the constant C_d is flat for d above ~8 anyway). The
-      // degree sum is 2|E| — self-loops contribute two stubs to their
-      // node's degree and one edge to the count.
-      const Count total = 2 * graph.num_edges();
-      RRB_REQUIRE(total > 0,
-                  "fixed-horizon push needs a non-empty adjacency: a graph "
-                  "with no edges has no mean degree to derive a horizon from");
-      const double mean_degree =
-          static_cast<double>(total) / static_cast<double>(graph.num_nodes());
-      const int d = std::max(3, static_cast<int>(std::lround(mean_degree)));
-      parts.protocol =
-          std::make_unique<FixedHorizonPush>(make_push_horizon(n_est, d));
-      break;
-    }
-    case BroadcastScheme::kMedianCounter: {
-      MedianCounterConfig cfg;
-      cfg.n_estimate = n_est;
-      parts.protocol = std::make_unique<MedianCounterProtocol>(cfg);
-      break;
-    }
-    case BroadcastScheme::kThrottledPushPull: {
-      ThrottledConfig cfg;
-      cfg.n_estimate = n_est;
-      cfg.degree = std::max<NodeId>(2, graph.min_degree());
-      parts.protocol = std::make_unique<ThrottledPushPull>(cfg);
-      break;
-    }
-    case BroadcastScheme::kFourChoice: {
-      FourChoiceConfig cfg;
-      cfg.n_estimate = n_est;
-      cfg.alpha = options.alpha;
-      // Algorithm 1 vs 2 selected by degree, as the paper prescribes.
-      const NodeId d = graph.regular_degree().value_or(graph.min_degree());
-      parts.protocol = make_four_choice_protocol(cfg, d);
-      parts.channel.num_choices = 4;
-      break;
-    }
-    case BroadcastScheme::kSequentialised: {
-      FourChoiceConfig cfg;
-      cfg.n_estimate = n_est;
-      cfg.alpha = options.alpha;
-      parts.protocol = std::make_unique<SequentialisedFourChoice>(cfg);
-      parts.channel.num_choices = 1;
-      parts.channel.memory = 3;
-      break;
-    }
-  }
-  // Reached with a null protocol only when `options.scheme` holds a value
-  // outside the enum (e.g. a bad cast from user input): a caller error,
-  // so a precondition failure rather than an internal invariant.
-  RRB_REQUIRE(parts.protocol != nullptr,
-              "unknown BroadcastScheme — options.scheme does not name a "
-              "scheme this library implements");
-  return parts;
+  return with_scheme(
+      graph, options, [](auto proto, const ChannelConfig& channel) {
+        SchemeParts parts;
+        parts.protocol =
+            make_protocol<decltype(proto)>(std::move(proto));
+        parts.channel = channel;
+        return parts;
+      });
 }
 
 RunResult broadcast(const Graph& graph, NodeId source,
                     const BroadcastOptions& options) {
   RRB_REQUIRE(source < graph.num_nodes(), "source out of range");
-  SchemeParts parts = make_scheme(graph, options);
-  Rng rng(options.seed);
-  GraphTopology topology(graph);
-  PhoneCallEngine<GraphTopology> engine(topology, parts.channel, rng);
-  RunLimits limits;
-  limits.max_rounds = options.max_rounds;
-  limits.record_rounds = options.record_rounds;
-  return engine.run(*parts.protocol, source, limits);
+  // Statically dispatched: the engine template is instantiated per concrete
+  // protocol type, so the round loop below the facade is devirtualised.
+  return with_scheme(
+      graph, options, [&](auto proto, const ChannelConfig& channel) {
+        Rng rng(options.seed);
+        GraphTopology topology(graph);
+        PhoneCallEngine<GraphTopology> engine(topology, channel, rng);
+        RunLimits limits;
+        limits.max_rounds = options.max_rounds;
+        limits.record_rounds = options.record_rounds;
+        return engine.run(proto, source, limits);
+      });
 }
 
 }  // namespace rrb

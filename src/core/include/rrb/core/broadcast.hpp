@@ -49,6 +49,17 @@ struct BroadcastOptions {
   /// failures" knob).
   double failure_prob = 0.0;
 
+  /// Override the scheme's memory window (ChannelConfig::memory): how many
+  /// recent partners each node avoids re-calling. -1 keeps the scheme's
+  /// canonical value (3 for kSequentialised, 0 elsewhere).
+  int memory = -1;
+
+  /// Quasirandom channel selection (Doerr–Friedrich–Sauerwald): nodes walk
+  /// their neighbour list cyclically from a random start instead of
+  /// sampling. Mutually exclusive with a positive memory window, so
+  /// kSequentialised needs memory = 0 to combine with this.
+  bool quasirandom = false;
+
   /// Safety cap on rounds; protocols terminate themselves well before this
   /// unless something is deeply wrong.
   Round max_rounds = 1 << 20;

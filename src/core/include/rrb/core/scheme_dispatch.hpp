@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "rrb/common/check.hpp"
+#include "rrb/core/broadcast.hpp"
+#include "rrb/protocols/baselines.hpp"
+#include "rrb/protocols/four_choice.hpp"
+#include "rrb/protocols/median_counter.hpp"
+#include "rrb/protocols/sequentialised.hpp"
+#include "rrb/protocols/throttled.hpp"
+
+/// \file scheme_dispatch.hpp
+/// Compile-time scheme dispatch: the one switch that maps a BroadcastScheme
+/// value to its concrete protocol *type* and canonical ChannelConfig, then
+/// hands both to a generic visitor. broadcast(), broadcast_trials() and
+/// make_scheme() all route through here, so the facade and the parallel
+/// runner drive PhoneCallEngine::run() with the static protocol type — the
+/// round loop inlines the protocol callbacks instead of paying a virtual
+/// call per node per round. make_scheme() wraps the visited protocol in a
+/// ProtocolAdapter for type-erased users; that adapter is the only place
+/// the virtual layer survives.
+
+namespace rrb {
+
+namespace detail {
+
+/// Horizon derivation for kFixedHorizonPush. The horizon needs the degree;
+/// fall back to the mean for irregular graphs (the constant C_d is flat for
+/// d above ~8 anyway). The degree sum is 2|E| — self-loops contribute two
+/// stubs to their node's degree and one edge to the count.
+[[nodiscard]] inline Round fixed_horizon_for(const Graph& graph,
+                                             std::uint64_t n_estimate) {
+  const Count total = 2 * graph.num_edges();
+  RRB_REQUIRE(total > 0,
+              "fixed-horizon push needs a non-empty adjacency: a graph "
+              "with no edges has no mean degree to derive a horizon from");
+  const double mean_degree =
+      static_cast<double>(total) / static_cast<double>(graph.num_nodes());
+  const int d = std::max(3, static_cast<int>(std::lround(mean_degree)));
+  return make_push_horizon(n_estimate, d);
+}
+
+}  // namespace detail
+
+/// Build the concrete protocol and channel configuration for
+/// `options.scheme` and invoke `visit(protocol, channel)` with the
+/// protocol's static type. The visitor must accept any ProtocolImpl by
+/// value (generic lambda); all branches must return the same type.
+///
+/// Throws std::logic_error for graphs with < 2 nodes, out-of-enum scheme
+/// values, and option combinations the channel layer rejects.
+template <typename Visitor>
+decltype(auto) with_scheme(const Graph& graph, const BroadcastOptions& options,
+                           Visitor&& visit) {
+  RRB_REQUIRE(graph.num_nodes() >= 2, "broadcast needs >= 2 nodes");
+  const std::uint64_t n_est =
+      options.n_estimate != 0 ? options.n_estimate : graph.num_nodes();
+
+  ChannelConfig channel;
+  channel.failure_prob = options.failure_prob;
+
+  // Facade-level channel overrides are applied on top of the scheme's
+  // canonical pairing right before the visitor runs.
+  auto finish = [&](auto proto) -> decltype(auto) {
+    if (options.memory >= 0) channel.memory = options.memory;
+    channel.quasirandom = options.quasirandom;
+    return visit(std::move(proto), channel);
+  };
+
+  switch (options.scheme) {
+    case BroadcastScheme::kPush:
+      return finish(PushProtocol{});
+    case BroadcastScheme::kPull:
+      return finish(PullProtocol{});
+    case BroadcastScheme::kPushPull:
+      return finish(PushPullProtocol{});
+    case BroadcastScheme::kFixedHorizonPush:
+      return finish(FixedHorizonPush(detail::fixed_horizon_for(graph, n_est)));
+    case BroadcastScheme::kMedianCounter: {
+      MedianCounterConfig cfg;
+      cfg.n_estimate = n_est;
+      return finish(MedianCounterProtocol(cfg));
+    }
+    case BroadcastScheme::kThrottledPushPull: {
+      ThrottledConfig cfg;
+      cfg.n_estimate = n_est;
+      cfg.degree = std::max<NodeId>(2, graph.min_degree());
+      return finish(ThrottledPushPull(cfg));
+    }
+    case BroadcastScheme::kFourChoice: {
+      FourChoiceConfig cfg;
+      cfg.n_estimate = n_est;
+      cfg.alpha = options.alpha;
+      channel.num_choices = 4;
+      // Algorithm 1 vs 2 selected by degree, as the paper prescribes.
+      const NodeId d = graph.regular_degree().value_or(graph.min_degree());
+      if (four_choice_uses_large_degree(cfg, d))
+        return finish(FourChoiceLargeDegree(cfg));
+      return finish(FourChoiceBroadcast(cfg));
+    }
+    case BroadcastScheme::kSequentialised: {
+      FourChoiceConfig cfg;
+      cfg.n_estimate = n_est;
+      cfg.alpha = options.alpha;
+      channel.num_choices = 1;
+      channel.memory = 3;
+      return finish(SequentialisedFourChoice(cfg));
+    }
+  }
+  // Reached only when `options.scheme` holds a value outside the enum
+  // (e.g. a bad cast from user input): a caller error, so a precondition
+  // failure rather than an internal invariant.
+  detail::check_failed(
+      "Precondition",
+      "unknown BroadcastScheme — options.scheme does not name a "
+      "scheme this library implements",
+      __FILE__, __LINE__,
+      "scheme value " + std::to_string(static_cast<int>(options.scheme)));
+}
+
+}  // namespace rrb

@@ -69,6 +69,29 @@ class Graph {
     return adjacency_[offsets_[v] + i];
   }
 
+  // ---- Unchecked CSR fast-path views --------------------------------------
+  // For callers that have already validated their indices (the phone call
+  // engine checks its inputs once at run start and then only produces
+  // v < num_nodes() and i < degree(v) inside the round loop). These skip
+  // the two RRB_REQUIRE branches per access that the checked accessors pay.
+
+  /// degree(v) without bounds checks; v must be < num_nodes().
+  [[nodiscard]] NodeId degree_unchecked(NodeId v) const noexcept {
+    return static_cast<NodeId>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// neighbor(v, i) without bounds checks; requires v < num_nodes() and
+  /// i < degree(v).
+  [[nodiscard]] NodeId neighbor_unchecked(NodeId v, NodeId i) const noexcept {
+    return adjacency_[offsets_[v] + i];
+  }
+
+  /// neighbors(v) without bounds checks; v must be < num_nodes().
+  [[nodiscard]] std::span<const NodeId> neighbors_unchecked(
+      NodeId v) const noexcept {
+    return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
   /// True iff at least one (u,v) edge exists. O(log degree).
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
 

@@ -26,7 +26,10 @@ void ChurnDriver::apply(Round /*t*/) {
   for (int i = 0; i < leaves; ++i) {
     if (overlay_->num_alive() <= config_.min_alive) break;
     const NodeId victim = overlay_->random_alive(*rng_);
-    if (overlay_->leave(victim, *rng_)) ++leaves_;
+    if (overlay_->leave(victim, *rng_)) {
+      ++leaves_;
+      if (on_leave_) on_leave_(victim);
+    }
   }
 
   for (int i = 0; i < config_.switches_per_round; ++i)

@@ -28,6 +28,12 @@ class ChurnDriver {
   /// peer's slot does not inherit its informed status.
   using JoinCallback = std::function<void(NodeId)>;
 
+  /// Invoked with the slot id of every successful departure, after the
+  /// overlay has marked the node dead. Wire this to
+  /// PhoneCallEngine::notify_node_died so the engine's incremental
+  /// informed-alive count stays exact without an O(n) rescan per round.
+  using LeaveCallback = std::function<void(NodeId)>;
+
   ChurnDriver(DynamicOverlay& overlay, ChurnConfig config, Rng& rng)
       : overlay_(&overlay), config_(config), rng_(&rng) {}
 
@@ -35,8 +41,17 @@ class ChurnDriver {
     on_join_ = std::move(callback);
   }
 
-  /// Perform one round's worth of churn. Usable directly as a RoundHook:
-  /// `engine.set_round_hook([&](Round t) { driver.apply(t); });`
+  void set_leave_callback(LeaveCallback callback) {
+    on_leave_ = std::move(callback);
+  }
+
+  /// Perform one round's worth of churn. When driving a PhoneCallEngine,
+  /// wire with attach_churn() below: besides installing this as the round
+  /// hook it connects BOTH callbacks, which the engine's incremental
+  /// informed-alive accounting requires — a hook wired without the leave
+  /// callback lets departed informed peers keep counting towards
+  /// completion. Call apply() directly only outside an engine run (e.g.
+  /// warming an overlay before a broadcast).
   void apply(Round t);
 
   [[nodiscard]] Count total_joins() const { return joins_; }
@@ -51,8 +66,22 @@ class ChurnDriver {
   ChurnConfig config_;
   Rng* rng_;
   JoinCallback on_join_;
+  LeaveCallback on_leave_;
   Count joins_ = 0;
   Count leaves_ = 0;
 };
+
+/// Wire a churn driver into an engine: the driver runs as the engine's
+/// round hook, every join resets the reused slot, and every departure is
+/// reported so the engine's incremental informed-alive bookkeeping stays
+/// exact. This is the canonical churn setup; compose the pieces by hand
+/// only when an experiment needs extra work inside the hook.
+template <typename EngineT>
+void attach_churn(EngineT& engine, ChurnDriver& driver) {
+  driver.set_join_callback([&engine](NodeId v) { engine.reset_node(v); });
+  driver.set_leave_callback(
+      [&engine](NodeId v) { engine.notify_node_died(v); });
+  engine.set_round_hook([&driver](Round t) { driver.apply(t); });
+}
 
 }  // namespace rrb

@@ -39,6 +39,15 @@ class DynamicOverlay {
   [[nodiscard]] NodeId neighbor(NodeId v, NodeId i) const {
     return adj_[v][i];
   }
+  /// Unchecked fast-path views used by the engine's round loop (the churn
+  /// overlay's adjacency is ragged, so these match the checked accessors —
+  /// provided for symmetry with Graph's CSR views).
+  [[nodiscard]] NodeId degree_unchecked(NodeId v) const noexcept {
+    return static_cast<NodeId>(adj_[v].size());
+  }
+  [[nodiscard]] NodeId neighbor_unchecked(NodeId v, NodeId i) const noexcept {
+    return adj_[v][i];
+  }
 
   // ---- Dynamics ----------------------------------------------------------
   /// A new peer joins: takes a free slot and connects to `target_degree()`

@@ -8,6 +8,7 @@
 #include "rrb/common/check.hpp"
 #include "rrb/common/types.hpp"
 #include "rrb/graph/graph.hpp"
+#include "rrb/phonecall/channel_sampler.hpp"
 #include "rrb/phonecall/edge_ids.hpp"
 #include "rrb/phonecall/failure_models.hpp"
 #include "rrb/phonecall/protocol.hpp"
@@ -26,12 +27,26 @@
 /// matching the paper's "received for the first time in the previous step"
 /// phrasing.
 ///
-/// The engine is a template over a Topology so that the same round loop
-/// drives static graphs (Graph) and the dynamic churn overlay (p2p).
+/// The engine is a template over a Topology, so the same round loop drives
+/// static graphs (Graph) and the dynamic churn overlay (p2p), and run() is
+/// additionally a template over the protocol (see ProtocolImpl in
+/// protocol.hpp), so concrete protocols dispatch at compile time — the
+/// per-node inner loop pays no virtual calls, no std::function calls, and
+/// no per-access bounds checks (see the unchecked topology views below).
+///
+/// Determinism: the order of RNG draws inside run() is part of the
+/// library's output contract (ROADMAP.md "seeding contract";
+/// tests/test_golden_results.cpp pins it). Any engine change must preserve
+/// the draw order exactly or every recorded experiment changes.
 
 namespace rrb {
 
-/// Requirements on a topology the engine can run on.
+/// Requirements on a topology the engine can run on. The checked accessors
+/// are the interface; a topology may additionally provide
+/// degree_unchecked/neighbor_unchecked fast paths (GraphTopology and
+/// DynamicOverlay do), which the round loop uses after validating its
+/// inputs once at run start — every node id it touches is < num_slots()
+/// and every edge index is < degree(v) by construction.
 template <typename T>
 concept Topology = requires(const T& t, NodeId v, NodeId i) {
   { t.num_slots() } -> std::convertible_to<NodeId>;
@@ -41,7 +56,9 @@ concept Topology = requires(const T& t, NodeId v, NodeId i) {
   { t.neighbor(v, i) } -> std::convertible_to<NodeId>;
 };
 
-/// Adapter presenting an immutable Graph as a Topology.
+/// Adapter presenting an immutable Graph as a Topology. Exposes the
+/// unchecked CSR views; the Graph's CSR invariants hold by construction,
+/// so per-access bounds checks in the round loop would be redundant.
 class GraphTopology {
  public:
   explicit GraphTopology(const Graph& g) : g_(&g) {}
@@ -52,32 +69,16 @@ class GraphTopology {
   [[nodiscard]] NodeId neighbor(NodeId v, NodeId i) const {
     return g_->neighbor(v, i);
   }
+  [[nodiscard]] NodeId degree_unchecked(NodeId v) const {
+    return g_->degree_unchecked(v);
+  }
+  [[nodiscard]] NodeId neighbor_unchecked(NodeId v, NodeId i) const {
+    return g_->neighbor_unchecked(v, i);
+  }
   [[nodiscard]] const Graph& graph() const { return *g_; }
 
  private:
   const Graph* g_;
-};
-
-/// How channels are established each round.
-struct ChannelConfig {
-  /// Distinct incident edges each node calls per round. 1 = classical
-  /// random phone call model; 4 = the paper's modification.
-  int num_choices = 1;
-
-  /// If > 0, avoid partners called during the last `memory` rounds (the
-  /// sequentialised model of §1.2 footnote 2 uses num_choices = 1,
-  /// memory = 3). Best-effort: if a node's degree leaves no admissible
-  /// partner, the constraint is relaxed for that call.
-  int memory = 0;
-
-  /// Probability that an opened channel fails (no communication in either
-  /// direction). Models the paper's "limited communication failures".
-  double failure_prob = 0.0;
-
-  /// Quasirandom model (Doerr–Friedrich–Sauerwald): each node walks its
-  /// neighbour list cyclically from a random start, calling the next
-  /// num_choices entries per round, instead of sampling.
-  bool quasirandom = false;
 };
 
 /// Observer invoked at the end of every round with the informed_at array
@@ -111,6 +112,12 @@ class PhoneCallEngine {
   /// Mutate the topology between rounds (churn). Newly joined nodes start
   /// uninformed; dead nodes stop participating and no longer count towards
   /// completion.
+  ///
+  /// Completion under churn is tracked *incrementally*: a hook that removes
+  /// alive nodes must report each departure once via notify_node_died(),
+  /// and each reused slot via reset_node() (attach_churn() in
+  /// rrb/p2p/churn.hpp wires both automatically). The engine never rescans
+  /// the informed array during the run.
   void set_round_hook(RoundHook hook) { hook_ = std::move(hook); }
 
   /// Install a structured failure model (see failure_models.hpp). A channel
@@ -143,29 +150,39 @@ class PhoneCallEngine {
   /// a round hook.
   void reset_node(NodeId v) {
     RRB_REQUIRE(v < informed_at_.size(), "reset_node: out of range");
+    if (informed_at_[v] == kNever) return;
     informed_at_[v] = kNever;
+    if (topo_->is_alive(v)) --informed_alive_;
+  }
+
+  /// Report that a previously-alive node left the topology. The departed
+  /// peer forgets the message (its informed_at slot is cleared), keeping
+  /// the engine's incremental informed-alive count exact without an O(n)
+  /// rescan per round. Call exactly once per departure, from a round hook,
+  /// after the topology has marked the node dead.
+  void notify_node_died(NodeId v) {
+    RRB_REQUIRE(v < informed_at_.size(), "notify_node_died: out of range");
+    if (informed_at_[v] == kNever) return;
+    informed_at_[v] = kNever;
+    --informed_alive_;
   }
 
   /// Run `protocol` from `source` until the protocol reports finished, all
   /// alive nodes are informed (if limits.stop_when_all_informed), or
   /// limits.max_rounds elapse.
-  RunResult run(BroadcastProtocol& protocol, NodeId source,
-                const RunLimits& limits) {
+  template <ProtocolImpl ProtocolT>
+  RunResult run(ProtocolT& protocol, NodeId source, const RunLimits& limits) {
     return run(protocol, std::span<const NodeId>(&source, 1), limits);
   }
 
-  RunResult run(BroadcastProtocol& protocol, std::span<const NodeId> sources,
+  template <ProtocolImpl ProtocolT>
+  RunResult run(ProtocolT& protocol, std::span<const NodeId> sources,
                 const RunLimits& limits);
 
  private:
-  /// Choose the partners node v calls this round; writes neighbour *edge
-  /// indices* into choice_buf_ and returns how many were chosen.
-  std::size_t choose_edges(NodeId v, std::span<NodeId> out);
-
-  /// Record v's partners for the memory constraint.
-  void remember_partners(NodeId v, std::span<const NodeId> partners);
-
-  [[nodiscard]] bool recently_called(NodeId v, NodeId partner) const;
+  [[nodiscard]] NodeId neighbor_of(NodeId v, NodeId i) const {
+    return detail::topo_neighbor(*topo_, v, i);
+  }
 
   TopologyT* topo_;
   ChannelConfig config_;
@@ -177,90 +194,26 @@ class PhoneCallEngine {
   std::vector<Round> informed_at_;
   std::vector<Action> action_;  // kNone for uninformed/silent nodes
 
-  // Memory rings: memory_[v * memory + j] = partner called `j+1` rounds ago
-  // (unordered ring). kNoNode = empty.
-  std::vector<NodeId> memory_;
+  /// |{v : alive(v) && informed(v)}|, maintained incrementally: +1 per
+  /// first-time delivery (recipients are alive by construction), -1 in
+  /// notify_node_died()/reset_node(). Exact at every completion check
+  /// provided churn hooks report departures (see set_round_hook).
+  Count informed_alive_ = 0;
 
-  // Quasirandom list cursors.
-  std::vector<NodeId> cursor_;
+  ChannelSampler sampler_;
+
+  // Flat per-run scratch buffers, reused across rounds and runs.
+  std::vector<NodeId> choice_buf_;
+  std::vector<NodeId> partner_buf_;
+  std::vector<NodeId> newly_;
 
   const EdgeIdMap* edge_ids_ = nullptr;
   std::vector<std::uint8_t> edge_used_;
 };
 
 template <Topology TopologyT>
-std::size_t PhoneCallEngine<TopologyT>::choose_edges(NodeId v,
-                                                     std::span<NodeId> out) {
-  const NodeId d = topo_->degree(v);
-  if (d == 0) return 0;
-  const auto k = static_cast<std::size_t>(config_.num_choices);
-  const std::size_t take = std::min<std::size_t>(k, d);
-
-  if (config_.quasirandom) {
-    // Walk the neighbour list cyclically from the node's cursor.
-    if (cursor_[v] == kNoNode)
-      cursor_[v] = static_cast<NodeId>(rng_->uniform_u64(d));
-    for (std::size_t i = 0; i < take; ++i)
-      out[i] = static_cast<NodeId>((cursor_[v] + i) % d);
-    cursor_[v] = static_cast<NodeId>((cursor_[v] + take) % d);
-    return take;
-  }
-
-  if (config_.memory == 0 || d <= take) {
-    return rng_->sample_distinct_small(d, take, out);
-  }
-
-  // Memory constraint: rejection-sample distinct edge indices whose
-  // endpoints were not called in the last `memory` rounds. Best effort —
-  // after kMaxTries we accept whatever distinct indices we drew.
-  constexpr int kMaxTries = 48;
-  std::size_t filled = 0;
-  int tries = 0;
-  while (filled < take && tries < kMaxTries) {
-    ++tries;
-    const auto idx = static_cast<NodeId>(rng_->uniform_u64(d));
-    bool duplicate = false;
-    for (std::size_t j = 0; j < filled; ++j)
-      if (out[j] == idx) duplicate = true;
-    if (duplicate) continue;
-    if (recently_called(v, topo_->neighbor(v, idx))) continue;
-    out[filled++] = idx;
-  }
-  while (filled < take) {
-    const auto idx = static_cast<NodeId>(rng_->uniform_u64(d));
-    bool duplicate = false;
-    for (std::size_t j = 0; j < filled; ++j)
-      if (out[j] == idx) duplicate = true;
-    if (!duplicate) out[filled++] = idx;
-  }
-  return take;
-}
-
-template <Topology TopologyT>
-bool PhoneCallEngine<TopologyT>::recently_called(NodeId v,
-                                                 NodeId partner) const {
-  const auto m = static_cast<std::size_t>(config_.memory);
-  const std::size_t base = static_cast<std::size_t>(v) * m;
-  for (std::size_t j = 0; j < m; ++j)
-    if (memory_[base + j] == partner) return true;
-  return false;
-}
-
-template <Topology TopologyT>
-void PhoneCallEngine<TopologyT>::remember_partners(
-    NodeId v, std::span<const NodeId> partners) {
-  const auto m = static_cast<std::size_t>(config_.memory);
-  if (m == 0) return;
-  const std::size_t base = static_cast<std::size_t>(v) * m;
-  // Shift the ring (memory is tiny — 3 in the paper's variant).
-  for (std::size_t j = m; j-- > partners.size();)
-    memory_[base + j] = memory_[base + j - partners.size()];
-  for (std::size_t j = 0; j < std::min(partners.size(), m); ++j)
-    memory_[base + j] = partners[j];
-}
-
-template <Topology TopologyT>
-RunResult PhoneCallEngine<TopologyT>::run(BroadcastProtocol& protocol,
+template <ProtocolImpl ProtocolT>
+RunResult PhoneCallEngine<TopologyT>::run(ProtocolT& protocol,
                                           std::span<const NodeId> sources,
                                           const RunLimits& limits) {
   const NodeId n = topo_->num_slots();
@@ -269,16 +222,14 @@ RunResult PhoneCallEngine<TopologyT>::run(BroadcastProtocol& protocol,
 
   informed_at_.assign(n, kNever);
   action_.assign(n, Action::kNone);
-  if (config_.memory > 0)
-    memory_.assign(static_cast<std::size_t>(n) * config_.memory, kNoNode);
-  if (config_.quasirandom) cursor_.assign(n, kNoNode);
+  sampler_.prepare(config_, n);
   if (edge_ids_ != nullptr) {
     RRB_REQUIRE(edge_ids_->slot_offsets.size() == n + 1U,
                 "edge id map does not match topology");
     edge_used_.assign(edge_ids_->num_edges, 0);
   }
 
-  protocol.reset(n);
+  if constexpr (requires { protocol.reset(n); }) protocol.reset(n);
   Count informed = 0;
   for (const NodeId s : sources) {
     RRB_REQUIRE(s < n, "source out of range");
@@ -288,18 +239,31 @@ RunResult PhoneCallEngine<TopologyT>::run(BroadcastProtocol& protocol,
       ++informed;
     }
   }
+  informed_alive_ = informed;
 
   RunResult result;
   result.n = n;
 
-  std::vector<NodeId> edge_choice(static_cast<std::size_t>(config_.num_choices));
-  std::vector<NodeId> partners(static_cast<std::size_t>(config_.num_choices));
-  std::vector<NodeId> newly;
+  choice_buf_.assign(static_cast<std::size_t>(config_.num_choices), 0);
+  partner_buf_.assign(static_cast<std::size_t>(config_.num_choices), 0);
+  const std::span<NodeId> edge_choice(choice_buf_);
+  const std::span<NodeId> partners(partner_buf_);
+
+  // Hoisted once per run: none of these can change mid-run, and testing a
+  // bool beats re-testing a std::function (or re-reading config) per node
+  // or per channel in the inner loop.
+  const bool has_failure_prob = config_.failure_prob > 0.0;
+  const bool has_failure_model = static_cast<bool>(failure_model_);
+  const bool track_edges = edge_ids_ != nullptr;
+  const bool has_observer = static_cast<bool>(observer_);
+  const bool has_hook = static_cast<bool>(hook_);
+  const bool has_memory = config_.memory > 0;
 
   Round t = 0;
   while (t < limits.max_rounds) {
     ++t;
-    protocol.on_round_start(t);
+    if constexpr (requires { protocol.on_round_start(t); })
+      protocol.on_round_start(t);
     RoundStats round{};
     round.t = t;
 
@@ -319,21 +283,18 @@ RunResult PhoneCallEngine<TopologyT>::run(BroadcastProtocol& protocol,
     // Phase B: every alive node opens channels; transmissions happen on
     // the channel according to the caller's push action and the callee's
     // pull action.
-    newly.clear();
+    newly_.clear();
     for (NodeId v = 0; v < n; ++v) {
       if (!topo_->is_alive(v)) continue;
-      const std::size_t k =
-          choose_edges(v, std::span<NodeId>(edge_choice.data(),
-                                            edge_choice.size()));
+      const std::size_t k = sampler_.choose(*topo_, *rng_, v, edge_choice);
       for (std::size_t i = 0; i < k; ++i) partners[i] = kNoNode;
       for (std::size_t i = 0; i < k; ++i) {
         const NodeId edge_idx = edge_choice[i];
-        const NodeId w = topo_->neighbor(v, edge_idx);
+        const NodeId w = neighbor_of(v, edge_idx);
         partners[i] = w;
         ++round.channels_opened;
-        if ((config_.failure_prob > 0.0 &&
-             rng_->bernoulli(config_.failure_prob)) ||
-            (failure_model_ && failure_model_(t, v, w))) {
+        if ((has_failure_prob && rng_->bernoulli(config_.failure_prob)) ||
+            (has_failure_model && failure_model_(t, v, w))) {
           ++round.channels_failed;
           continue;
         }
@@ -345,31 +306,37 @@ RunResult PhoneCallEngine<TopologyT>::run(BroadcastProtocol& protocol,
         const bool pull_here = does_pull(action_[w]);
         if (!push_here && !pull_here) continue;
 
-        if (edge_ids_ != nullptr)
-          edge_used_[edge_ids_->edge_of(v, edge_idx)] = 1;
+        if (track_edges) edge_used_[edge_ids_->edge_of(v, edge_idx)] = 1;
 
         auto deliver = [&](NodeId to, NodeId from, bool is_push) {
-          const MessageMeta meta = protocol.stamp(from, t);
+          MessageMeta meta;
+          if constexpr (requires { protocol.stamp(from, t); })
+            meta = protocol.stamp(from, t);
           if (is_push)
             ++round.push_tx;
           else
             ++round.pull_tx;
           const bool first = informed_at_[to] == kNever;
-          protocol.on_receive(to, meta, t, first);
+          if constexpr (requires {
+                          protocol.on_receive(to, meta, t, first);
+                        })
+            protocol.on_receive(to, meta, t, first);
           if (first) {
             informed_at_[to] = t;
-            newly.push_back(to);
+            ++informed_alive_;
+            newly_.push_back(to);
           }
         };
         if (push_here) deliver(w, v, /*is_push=*/true);
         if (pull_here) deliver(v, w, /*is_push=*/false);
       }
-      if (config_.memory > 0)
-        remember_partners(v, std::span<const NodeId>(partners.data(), k));
+      if (has_memory)
+        sampler_.remember_partners(
+            v, std::span<const NodeId>(partners.data(), k));
     }
 
-    informed += newly.size();
-    round.newly_informed = newly.size();
+    informed += newly_.size();
+    round.newly_informed = newly_.size();
     round.informed = informed;
 
     result.push_tx += round.push_tx;
@@ -378,18 +345,14 @@ RunResult PhoneCallEngine<TopologyT>::run(BroadcastProtocol& protocol,
     result.channels_failed += round.channels_failed;
     if (limits.record_rounds) result.per_round.push_back(round);
 
-    if (observer_)
+    if (has_observer)
       observer_(t, std::span<const Round>(informed_at_.data(), n));
 
     const Count alive = topo_->num_alive();
-    // Completion: every alive node informed. (During churn, `informed`
-    // counts informed-and-alive lazily; recompute only when plausible.)
-    Count informed_alive = informed;
-    if (hook_) {
-      informed_alive = 0;
-      for (NodeId v = 0; v < n; ++v)
-        if (topo_->is_alive(v) && informed_at_[v] != kNever) ++informed_alive;
-    }
+    // Completion: every alive node informed. informed_alive_ is maintained
+    // incrementally — churn hooks report departures via notify_node_died()
+    // and slot reuse via reset_node(), so no O(n) rescan is needed here.
+    const Count informed_alive = informed_alive_;
     if (result.completion_round == kNever && informed_alive >= alive)
       result.completion_round = t;
 
@@ -398,7 +361,7 @@ RunResult PhoneCallEngine<TopologyT>::run(BroadcastProtocol& protocol,
         limits.stop_when_all_informed && informed_alive >= alive;
     if (proto_done || oracle_done) break;
 
-    if (hook_) {
+    if (has_hook) {
       hook_(t);
       const NodeId new_n = topo_->num_slots();
       RRB_REQUIRE(new_n == n, "topology slots may not change during a run");
@@ -407,11 +370,11 @@ RunResult PhoneCallEngine<TopologyT>::run(BroadcastProtocol& protocol,
 
   result.rounds = t;
   result.alive_at_end = topo_->num_alive();
-  Count informed_alive = 0;
+  Count final_informed = 0;
   for (NodeId v = 0; v < n; ++v)
-    if (topo_->is_alive(v) && informed_at_[v] != kNever) ++informed_alive;
-  result.final_informed = informed_alive;
-  result.all_informed = informed_alive >= result.alive_at_end;
+    if (topo_->is_alive(v) && informed_at_[v] != kNever) ++final_informed;
+  result.final_informed = final_informed;
+  result.all_informed = final_informed >= result.alive_at_end;
   return result;
 }
 

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <concepts>
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "rrb/common/types.hpp"
 
@@ -16,6 +19,17 @@
 /// metadata). The paper's "strictly oblivious" model — decisions depend
 /// only on the time the node received the message — corresponds to
 /// implementing action() as a pure function of (informed_at, t).
+///
+/// Dispatch comes in two layers:
+///  - the ProtocolImpl *concept*: any class with the non-virtual interface
+///    below. The engine's run() is a template over it, so concrete
+///    protocols (PushProtocol, FourChoiceBroadcast, ...) are dispatched at
+///    compile time and their per-node action() calls inline into the round
+///    loop — the hot path pays no virtual calls;
+///  - the BroadcastProtocol *virtual base* plus ProtocolAdapter<P>: the
+///    type-erased layer for factories, containers and run-time protocol
+///    selection (ProtocolFactory, SchemeParts). BroadcastProtocol itself
+///    satisfies ProtocolImpl, so the same engine template serves both.
 
 namespace rrb {
 
@@ -48,6 +62,20 @@ struct NodeLocalState {
   Round informed_at = kNever;  ///< round the node first received M (0 = source)
   bool is_source = false;
 };
+
+/// The statically-dispatched protocol interface the engine's round loop is
+/// templated over. Mandatory: action(), finished(), name(). Optional hooks
+/// — reset(n), on_round_start(t), stamp(v, t), on_receive(v, meta, t,
+/// first) — are detected per protocol with `requires` and cost nothing when
+/// absent.
+template <typename P>
+concept ProtocolImpl =
+    requires(P& p, const P& cp, NodeId v, const NodeLocalState& s, Round t,
+             Count c) {
+      { p.action(v, s, t) } -> std::same_as<Action>;
+      { cp.finished(t, c, c) } -> std::convertible_to<bool>;
+      { cp.name() } -> std::convertible_to<const char*>;
+    };
 
 /// Base class for broadcast protocols driven by PhoneCallEngine.
 ///
@@ -90,5 +118,60 @@ class BroadcastProtocol {
   /// Human-readable protocol name for reports.
   [[nodiscard]] virtual const char* name() const = 0;
 };
+
+/// Thin virtual adapter: presents a statically-dispatched protocol P as a
+/// BroadcastProtocol for type-erased users (factories, SchemeParts). The
+/// cost is one virtual hop per callback — exactly what the engine's
+/// templated run() avoids when handed the concrete P directly.
+template <ProtocolImpl P>
+class ProtocolAdapter final : public BroadcastProtocol {
+ public:
+  template <typename... Args>
+    requires std::constructible_from<P, Args...>
+  explicit ProtocolAdapter(Args&&... args)
+      : inner_(std::forward<Args>(args)...) {}
+
+  void reset(NodeId n) override {
+    if constexpr (requires { inner_.reset(n); }) inner_.reset(n);
+  }
+  void on_round_start(Round t) override {
+    if constexpr (requires { inner_.on_round_start(t); })
+      inner_.on_round_start(t);
+  }
+  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state,
+                              Round t) override {
+    return inner_.action(v, state, t);
+  }
+  [[nodiscard]] MessageMeta stamp(NodeId v, Round t) override {
+    if constexpr (requires { inner_.stamp(v, t); })
+      return inner_.stamp(v, t);
+    else
+      return MessageMeta{};
+  }
+  void on_receive(NodeId v, const MessageMeta& meta, Round t,
+                  bool first_time) override {
+    if constexpr (requires { inner_.on_receive(v, meta, t, first_time); })
+      inner_.on_receive(v, meta, t, first_time);
+  }
+  [[nodiscard]] bool finished(Round t, Count informed,
+                              Count alive) const override {
+    return inner_.finished(t, informed, alive);
+  }
+  [[nodiscard]] const char* name() const override { return inner_.name(); }
+
+  [[nodiscard]] P& inner() { return inner_; }
+  [[nodiscard]] const P& inner() const { return inner_; }
+
+ private:
+  P inner_;
+};
+
+/// Build an adapted protocol as a type-erased handle:
+/// `make_protocol<PushProtocol>()`, `make_protocol<FourChoiceBroadcast>(cfg)`.
+template <typename P, typename... Args>
+[[nodiscard]] std::unique_ptr<BroadcastProtocol> make_protocol(
+    Args&&... args) {
+  return std::make_unique<ProtocolAdapter<P>>(std::forward<Args>(args)...);
+}
 
 }  // namespace rrb

@@ -123,14 +123,19 @@ bool FourChoiceLargeDegree::finished(Round t, Count /*informed*/,
   return t >= schedule_.phase3_end;
 }
 
-std::unique_ptr<BroadcastProtocol> make_four_choice_protocol(
-    const FourChoiceConfig& cfg, NodeId degree) {
+bool four_choice_uses_large_degree(const FourChoiceConfig& cfg,
+                                   NodeId degree) {
   const double lg_n = std::log2(static_cast<double>(
       cfg.n_estimate < 4 ? 4 : cfg.n_estimate));
   const double lglg_n = std::log2(lg_n < 2.0 ? 2.0 : lg_n);
-  if (static_cast<double>(degree) >= cfg.delta * lglg_n)
-    return std::make_unique<FourChoiceLargeDegree>(cfg);
-  return std::make_unique<FourChoiceBroadcast>(cfg);
+  return static_cast<double>(degree) >= cfg.delta * lglg_n;
+}
+
+std::unique_ptr<BroadcastProtocol> make_four_choice_protocol(
+    const FourChoiceConfig& cfg, NodeId degree) {
+  if (four_choice_uses_large_degree(cfg, degree))
+    return make_protocol<FourChoiceLargeDegree>(cfg);
+  return make_protocol<FourChoiceBroadcast>(cfg);
 }
 
 }  // namespace rrb

@@ -9,38 +9,37 @@
 /// termination — these baselines terminate by oracle, i.e. the simulation
 /// stops when every node is informed, which only *under*-counts their
 /// transmissions and therefore makes the comparison conservative).
+///
+/// All protocols here are plain classes satisfying the ProtocolImpl
+/// concept — the engine dispatches them statically. Wrap one in
+/// ProtocolAdapter (or build it with make_protocol<...>) where a
+/// type-erased BroadcastProtocol handle is needed.
 
 namespace rrb {
 
 /// Informed nodes push over every outgoing channel, every round.
-class PushProtocol final : public BroadcastProtocol {
+class PushProtocol {
  public:
-  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state,
-                              Round t) override;
-  [[nodiscard]] bool finished(Round t, Count informed,
-                              Count alive) const override;
-  [[nodiscard]] const char* name() const override { return "push"; }
+  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state, Round t);
+  [[nodiscard]] bool finished(Round t, Count informed, Count alive) const;
+  [[nodiscard]] const char* name() const { return "push"; }
 };
 
 /// Informed nodes answer every incoming channel, every round. Uninformed
 /// nodes still open channels (that is what makes pull work).
-class PullProtocol final : public BroadcastProtocol {
+class PullProtocol {
  public:
-  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state,
-                              Round t) override;
-  [[nodiscard]] bool finished(Round t, Count informed,
-                              Count alive) const override;
-  [[nodiscard]] const char* name() const override { return "pull"; }
+  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state, Round t);
+  [[nodiscard]] bool finished(Round t, Count informed, Count alive) const;
+  [[nodiscard]] const char* name() const { return "pull"; }
 };
 
 /// Informed nodes transmit in both directions, every round.
-class PushPullProtocol final : public BroadcastProtocol {
+class PushPullProtocol {
  public:
-  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state,
-                              Round t) override;
-  [[nodiscard]] bool finished(Round t, Count informed,
-                              Count alive) const override;
-  [[nodiscard]] const char* name() const override { return "push-pull"; }
+  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state, Round t);
+  [[nodiscard]] bool finished(Round t, Count informed, Count alive) const;
+  [[nodiscard]] const char* name() const { return "push-pull"; }
 };
 
 /// The *implementable* (oracle-free) Monte Carlo push: informed nodes push
@@ -50,17 +49,13 @@ class PushPullProtocol final : public BroadcastProtocol {
 /// Θ(log n) tail of the horizon. `make_push_horizon` returns the
 /// empirically safe default 2·C_d·ln n̂ (twice the Fountoulakis–Panagiotou
 /// completion time).
-class FixedHorizonPush final : public BroadcastProtocol {
+class FixedHorizonPush {
  public:
   explicit FixedHorizonPush(Round horizon);
 
-  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state,
-                              Round t) override;
-  [[nodiscard]] bool finished(Round t, Count informed,
-                              Count alive) const override;
-  [[nodiscard]] const char* name() const override {
-    return "push/fixed-horizon";
-  }
+  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state, Round t);
+  [[nodiscard]] bool finished(Round t, Count informed, Count alive) const;
+  [[nodiscard]] const char* name() const { return "push/fixed-horizon"; }
   [[nodiscard]] Round horizon() const { return horizon_; }
 
  private:

@@ -56,15 +56,13 @@ struct FourChoiceConfig {
 ///   Phase 4: nodes informed during phase 3/4 become `active` and push.
 /// Terminates at a fixed horizon — no oracle; transmissions are counted to
 /// the very end, exactly as the paper charges them.
-class FourChoiceBroadcast final : public BroadcastProtocol {
+class FourChoiceBroadcast {
  public:
   explicit FourChoiceBroadcast(const FourChoiceConfig& cfg);
 
-  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state,
-                              Round t) override;
-  [[nodiscard]] bool finished(Round t, Count informed,
-                              Count alive) const override;
-  [[nodiscard]] const char* name() const override { return "four-choice/alg1"; }
+  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state, Round t);
+  [[nodiscard]] bool finished(Round t, Count informed, Count alive) const;
+  [[nodiscard]] const char* name() const { return "four-choice/alg1"; }
 
   [[nodiscard]] const PhaseSchedule& schedule() const { return schedule_; }
 
@@ -77,15 +75,13 @@ class FourChoiceBroadcast final : public BroadcastProtocol {
 
 /// Algorithm 2 (δ·log log n <= d <= δ·log n): phases 1–2 as Algorithm 1,
 /// then α·log log n rounds in which every informed node pulls.
-class FourChoiceLargeDegree final : public BroadcastProtocol {
+class FourChoiceLargeDegree {
  public:
   explicit FourChoiceLargeDegree(const FourChoiceConfig& cfg);
 
-  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state,
-                              Round t) override;
-  [[nodiscard]] bool finished(Round t, Count informed,
-                              Count alive) const override;
-  [[nodiscard]] const char* name() const override { return "four-choice/alg2"; }
+  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state, Round t);
+  [[nodiscard]] bool finished(Round t, Count informed, Count alive) const;
+  [[nodiscard]] const char* name() const { return "four-choice/alg2"; }
 
   [[nodiscard]] const PhaseSchedule& schedule() const { return schedule_; }
   [[nodiscard]] int phase_of(Round t) const;
@@ -94,8 +90,16 @@ class FourChoiceLargeDegree final : public BroadcastProtocol {
   PhaseSchedule schedule_;
 };
 
+/// Whether the paper's degree rule selects Algorithm 2 (large degree):
+/// d >= delta * log log n̂. Exposed so compile-time dispatchers (the
+/// scheme dispatch table in rrb/core) can branch to the concrete type.
+[[nodiscard]] bool four_choice_uses_large_degree(const FourChoiceConfig& cfg,
+                                                 NodeId degree);
+
 /// Select Algorithm 1 or 2 by degree, as the paper prescribes (nodes know
-/// d): Algorithm 2 iff d >= delta * log log n̂.
+/// d): Algorithm 2 iff d >= delta * log log n̂. Returns a type-erased
+/// adapter; dispatchers that want the static type use
+/// four_choice_uses_large_degree() and construct the protocol themselves.
 [[nodiscard]] std::unique_ptr<BroadcastProtocol> make_four_choice_protocol(
     const FourChoiceConfig& cfg, NodeId degree);
 

@@ -33,20 +33,18 @@ struct MedianCounterConfig {
   double max_age_multiplier = 6.0;  ///< deadline = ceil(mult * log2 n̂)
 };
 
-class MedianCounterProtocol final : public BroadcastProtocol {
+class MedianCounterProtocol {
  public:
   explicit MedianCounterProtocol(const MedianCounterConfig& cfg);
 
-  void reset(NodeId n) override;
-  void on_round_start(Round t) override;
-  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state,
-                              Round t) override;
-  [[nodiscard]] MessageMeta stamp(NodeId v, Round t) override;
+  void reset(NodeId n);
+  void on_round_start(Round t);
+  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state, Round t);
+  [[nodiscard]] MessageMeta stamp(NodeId v, Round t);
   void on_receive(NodeId v, const MessageMeta& meta, Round t,
-                  bool first_time) override;
-  [[nodiscard]] bool finished(Round t, Count informed,
-                              Count alive) const override;
-  [[nodiscard]] const char* name() const override { return "median-counter"; }
+                  bool first_time);
+  [[nodiscard]] bool finished(Round t, Count informed, Count alive) const;
+  [[nodiscard]] const char* name() const { return "median-counter"; }
 
   [[nodiscard]] int ctr_max() const { return ctr_max_; }
   [[nodiscard]] int final_rounds() const { return final_rounds_; }

@@ -15,18 +15,16 @@
 
 namespace rrb {
 
-class SequentialisedFourChoice final : public BroadcastProtocol {
+class SequentialisedFourChoice {
  public:
   /// cfg is interpreted exactly as for FourChoiceBroadcast; the horizon in
   /// engine steps is 4x the parallel schedule. Run with ChannelConfig
   /// {num_choices = 1, memory = 3}.
   explicit SequentialisedFourChoice(const FourChoiceConfig& cfg);
 
-  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state,
-                              Round t) override;
-  [[nodiscard]] bool finished(Round t, Count informed,
-                              Count alive) const override;
-  [[nodiscard]] const char* name() const override {
+  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state, Round t);
+  [[nodiscard]] bool finished(Round t, Count informed, Count alive) const;
+  [[nodiscard]] const char* name() const {
     return "four-choice/sequentialised";
   }
 

@@ -24,18 +24,14 @@ struct ThrottledConfig {
   double c2 = 2.0;               ///< multiplier on log log n
 };
 
-class ThrottledPushPull final : public BroadcastProtocol {
+class ThrottledPushPull {
  public:
   explicit ThrottledPushPull(const ThrottledConfig& cfg);
 
-  void on_round_start(Round t) override;
-  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state,
-                              Round t) override;
-  [[nodiscard]] bool finished(Round t, Count informed,
-                              Count alive) const override;
-  [[nodiscard]] const char* name() const override {
-    return "throttled-push-pull";
-  }
+  void on_round_start(Round t);
+  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state, Round t);
+  [[nodiscard]] bool finished(Round t, Count informed, Count alive) const;
+  [[nodiscard]] const char* name() const { return "throttled-push-pull"; }
 
   /// The per-node transmission window in rounds.
   [[nodiscard]] Round tau() const { return tau_; }

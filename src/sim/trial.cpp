@@ -1,6 +1,7 @@
 #include "rrb/sim/trial.hpp"
 
 #include "rrb/common/check.hpp"
+#include "rrb/core/scheme_dispatch.hpp"
 #include "rrb/sim/runner.hpp"
 
 namespace rrb {
@@ -123,14 +124,18 @@ TrialOutcome broadcast_trials(const Graph& graph,
 
   return reduce_trials(options.trials, options.runner, [&](int trial) {
     Rng rng = Rng(options.seed).fork(static_cast<std::uint64_t>(trial));
-    SchemeParts parts = make_scheme(graph, options);
-    GraphTopology topo(graph);
-    PhoneCallEngine<GraphTopology> engine(topo, parts.channel, rng);
-    const NodeId from =
-        source != kNoNode
-            ? source
-            : static_cast<NodeId>(rng.uniform_u64(graph.num_nodes()));
-    return engine.run(*parts.protocol, from, limits);
+    // Statically dispatched per scheme: each worker drives the engine with
+    // the concrete protocol type, not through the virtual adapter.
+    return with_scheme(
+        graph, options, [&](auto proto, const ChannelConfig& channel) {
+          GraphTopology topo(graph);
+          PhoneCallEngine<GraphTopology> engine(topo, channel, rng);
+          const NodeId from =
+              source != kNoNode
+                  ? source
+                  : static_cast<NodeId>(rng.uniform_u64(graph.num_nodes()));
+          return engine.run(proto, from, limits);
+        });
   });
 }
 

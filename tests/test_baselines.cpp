@@ -11,7 +11,8 @@
 namespace rrb {
 namespace {
 
-RunResult run_protocol(BroadcastProtocol& proto, const Graph& g,
+template <ProtocolImpl ProtocolT>
+RunResult run_protocol(ProtocolT& proto, const Graph& g,
                        std::uint64_t seed, int choices = 1,
                        Round max_rounds = 1 << 16) {
   GraphTopology topo(g);
@@ -185,9 +186,11 @@ TEST_P(BaselineCompletionParam, AllInformed) {
   Rng grng(static_cast<std::uint64_t>(n * 31 + d));
   const Graph g = random_regular_simple(static_cast<NodeId>(n),
                                         static_cast<NodeId>(d), grng);
-  PushProtocol push;
-  PullProtocol pull;
-  PushPullProtocol pp;
+  // Runtime protocol selection goes through the thin virtual adapter —
+  // exactly the type-erased path ProtocolAdapter exists for.
+  ProtocolAdapter<PushProtocol> push;
+  ProtocolAdapter<PullProtocol> pull;
+  ProtocolAdapter<PushPullProtocol> pp;
   BroadcastProtocol* protos[3] = {&push, &pull, &pp};
   const RunResult r = run_protocol(*protos[proto_id], g,
                                    static_cast<std::uint64_t>(n + d), 1, 2000);

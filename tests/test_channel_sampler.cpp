@@ -1,0 +1,267 @@
+#include "rrb/phonecall/channel_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "rrb/graph/generators.hpp"
+#include "rrb/phonecall/engine.hpp"
+
+/// Direct unit tests for the channel selection rules — the quasirandom
+/// cursor walk and the memory ring — previously only exercised indirectly
+/// through whole-run engine tests.
+
+namespace rrb {
+namespace {
+
+ChannelConfig config_of(int choices, int memory, bool quasirandom = false) {
+  ChannelConfig cfg;
+  cfg.num_choices = choices;
+  cfg.memory = memory;
+  cfg.quasirandom = quasirandom;
+  return cfg;
+}
+
+// ---- Quasirandom cursor walking -------------------------------------------
+
+TEST(QuasirandomSampler, FirstChooseDrawsCursorThenWalksList) {
+  const Graph g = complete(7);  // degree 6 everywhere
+  GraphTopology topo(g);
+  ChannelSampler sampler;
+  sampler.prepare(config_of(2, 0, /*quasirandom=*/true), g.num_nodes());
+
+  Rng rng(11);
+  Rng probe(11);  // parallel stream to predict the cursor draw
+  const NodeId expected_start = static_cast<NodeId>(probe.uniform_u64(6));
+
+  std::array<NodeId, 2> out{};
+  ASSERT_EQ(sampler.choose(topo, rng, 0, std::span<NodeId>(out)), 2U);
+  EXPECT_EQ(out[0], expected_start % 6);
+  EXPECT_EQ(out[1], (expected_start + 1) % 6);
+  EXPECT_EQ(sampler.cursor(0), (expected_start + 2) % 6);
+}
+
+TEST(QuasirandomSampler, SubsequentRoundsContinueWithoutRandomness) {
+  const Graph g = complete(7);
+  GraphTopology topo(g);
+  ChannelSampler sampler;
+  sampler.prepare(config_of(2, 0, true), g.num_nodes());
+
+  Rng rng(12);
+  std::array<NodeId, 2> out{};
+  (void)sampler.choose(topo, rng, 3, std::span<NodeId>(out));
+  const NodeId cursor_after_first = sampler.cursor(3);
+
+  // A second choose must walk on from the cursor and consume no RNG draws.
+  Rng snapshot = rng;  // value copy: same future stream
+  (void)sampler.choose(topo, rng, 3, std::span<NodeId>(out));
+  EXPECT_EQ(out[0], cursor_after_first % 6);
+  EXPECT_EQ(out[1], (cursor_after_first + 1) % 6);
+  EXPECT_EQ(rng.next_u64(), snapshot.next_u64());
+}
+
+TEST(QuasirandomSampler, WalkWrapsAroundTheNeighbourList) {
+  const Graph g = complete(4);  // degree 3
+  GraphTopology topo(g);
+  ChannelSampler sampler;
+  sampler.prepare(config_of(2, 0, true), g.num_nodes());
+
+  Rng rng(13);
+  std::array<NodeId, 2> out{};
+  std::set<NodeId> seen;
+  // 3 rounds * 2 choices over a 3-entry list: every edge index appears
+  // exactly twice, the signature property of the quasirandom model.
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_EQ(sampler.choose(topo, rng, 1, std::span<NodeId>(out)), 2U);
+    for (const NodeId idx : out) {
+      EXPECT_LT(idx, 3U);
+      seen.insert(idx);
+    }
+  }
+  EXPECT_EQ(seen.size(), 3U);
+}
+
+TEST(QuasirandomSampler, DegreeSmallerThanChoicesTakesWholeList) {
+  // A path end node has degree 1; num_choices = 4 must clamp to one call
+  // per round, walking the single entry repeatedly.
+  const Graph g = path(3);
+  GraphTopology topo(g);
+  ChannelSampler sampler;
+  sampler.prepare(config_of(4, 0, true), g.num_nodes());
+
+  Rng rng(14);
+  std::array<NodeId, 4> out{};
+  ASSERT_EQ(sampler.choose(topo, rng, 0, std::span<NodeId>(out)), 1U);
+  EXPECT_EQ(out[0], 0U);
+  ASSERT_EQ(sampler.choose(topo, rng, 0, std::span<NodeId>(out)), 1U);
+  EXPECT_EQ(out[0], 0U);
+}
+
+TEST(Sampler, IsolatedNodeChoosesNothing) {
+  Graph g(3);  // no edges at all
+  GraphTopology topo(g);
+  for (const bool quasirandom : {false, true}) {
+    ChannelSampler sampler;
+    sampler.prepare(config_of(4, 0, quasirandom), g.num_nodes());
+    Rng rng(15);
+    Rng snapshot = rng;
+    std::array<NodeId, 4> out{};
+    EXPECT_EQ(sampler.choose(topo, rng, 1, std::span<NodeId>(out)), 0U);
+    EXPECT_EQ(rng.next_u64(), snapshot.next_u64());  // no draws consumed
+  }
+}
+
+// ---- Memory ring -----------------------------------------------------------
+
+TEST(MemoryRing, StartsEmptyAndRecordsPartners) {
+  ChannelSampler sampler;
+  sampler.prepare(config_of(1, 3), 4);
+  EXPECT_FALSE(sampler.recently_called(0, 1));
+  for (const NodeId slot : sampler.memory_ring(0)) EXPECT_EQ(slot, kNoNode);
+
+  const std::array<NodeId, 1> partners{1};
+  sampler.remember_partners(0, std::span<const NodeId>(partners));
+  EXPECT_TRUE(sampler.recently_called(0, 1));
+  EXPECT_FALSE(sampler.recently_called(0, 2));
+  // Other nodes' rings are untouched.
+  EXPECT_FALSE(sampler.recently_called(1, 1));
+}
+
+TEST(MemoryRing, ShiftEvictsOldestAfterMemoryRounds) {
+  ChannelSampler sampler;
+  sampler.prepare(config_of(1, 3), 2);
+  for (NodeId partner = 1; partner <= 4; ++partner) {
+    const std::array<NodeId, 1> partners{partner};
+    sampler.remember_partners(0, std::span<const NodeId>(partners));
+  }
+  // Ring holds the last 3 partners: 4, 3, 2; partner 1 has been evicted.
+  EXPECT_FALSE(sampler.recently_called(0, 1));
+  EXPECT_TRUE(sampler.recently_called(0, 2));
+  EXPECT_TRUE(sampler.recently_called(0, 3));
+  EXPECT_TRUE(sampler.recently_called(0, 4));
+  const auto ring = sampler.memory_ring(0);
+  EXPECT_EQ(ring[0], 4U);
+  EXPECT_EQ(ring[1], 3U);
+  EXPECT_EQ(ring[2], 2U);
+}
+
+TEST(MemoryRing, PartialPartnerSetsShiftByTheirSize) {
+  // Two partners per round with memory 3: the ring keeps the 2 newest plus
+  // the single oldest survivor, shifted by the partner-set size.
+  ChannelSampler sampler;
+  sampler.prepare(config_of(2, 3), 2);
+  const std::array<NodeId, 2> first{1, 2};
+  sampler.remember_partners(0, std::span<const NodeId>(first));
+  const std::array<NodeId, 2> second{3, 4};
+  sampler.remember_partners(0, std::span<const NodeId>(second));
+
+  const auto ring = sampler.memory_ring(0);
+  EXPECT_EQ(ring[0], 3U);
+  EXPECT_EQ(ring[1], 4U);
+  EXPECT_EQ(ring[2], 1U);  // 2 fell off the end
+  EXPECT_TRUE(sampler.recently_called(0, 1));
+  EXPECT_FALSE(sampler.recently_called(0, 2));
+}
+
+TEST(MemoryRing, PartnerSetLargerThanMemoryKeepsPrefix) {
+  ChannelSampler sampler;
+  sampler.prepare(config_of(4, 3), 2);
+  const std::array<NodeId, 4> partners{5, 6, 7, 8};
+  sampler.remember_partners(0, std::span<const NodeId>(partners));
+  const auto ring = sampler.memory_ring(0);
+  EXPECT_EQ(ring[0], 5U);
+  EXPECT_EQ(ring[1], 6U);
+  EXPECT_EQ(ring[2], 7U);
+  EXPECT_FALSE(sampler.recently_called(0, 8));
+}
+
+TEST(MemoryRing, ZeroMemoryIsInert) {
+  ChannelSampler sampler;
+  sampler.prepare(config_of(2, 0), 2);
+  const std::array<NodeId, 2> partners{1, 0};
+  sampler.remember_partners(0, std::span<const NodeId>(partners));
+  EXPECT_FALSE(sampler.recently_called(0, 1));
+}
+
+// ---- Memory-constrained choosing ------------------------------------------
+
+TEST(MemorySampler, AvoidsRecentPartnersWhenDegreeAllows) {
+  // Node 0 of K5 has neighbours 1..4. Remember 3 of them; the only
+  // admissible edge index must be chosen every time.
+  const Graph g = complete(5);
+  GraphTopology topo(g);
+  ChannelSampler sampler;
+  sampler.prepare(config_of(1, 3), g.num_nodes());
+
+  const NodeId allowed = g.neighbor(0, 2);
+  std::array<NodeId, 3> remembered{};
+  std::size_t filled = 0;
+  for (NodeId i = 0; i < 4; ++i)
+    if (i != 2) remembered[filled++] = g.neighbor(0, i);
+  sampler.remember_partners(0, std::span<const NodeId>(remembered));
+
+  Rng rng(16);
+  std::array<NodeId, 1> out{};
+  for (int round = 0; round < 8; ++round) {
+    ASSERT_EQ(sampler.choose(topo, rng, 0, std::span<NodeId>(out)), 1U);
+    EXPECT_EQ(g.neighbor(0, out[0]), allowed);
+  }
+}
+
+TEST(MemorySampler, RelaxesWhenDegreeLeavesNoAdmissiblePartner) {
+  // d <= num_choices: the memory constraint is waived outright (the node
+  // must call every neighbour anyway), so choosing still succeeds with all
+  // partners remembered.
+  const Graph g = complete(3);  // degree 2
+  GraphTopology topo(g);
+  ChannelSampler sampler;
+  sampler.prepare(config_of(2, 3), g.num_nodes());
+  const std::array<NodeId, 2> all{g.neighbor(0, 0), g.neighbor(0, 1)};
+  sampler.remember_partners(0, std::span<const NodeId>(all));
+
+  Rng rng(17);
+  std::array<NodeId, 2> out{};
+  ASSERT_EQ(sampler.choose(topo, rng, 0, std::span<NodeId>(out)), 2U);
+  std::set<NodeId> indices(out.begin(), out.end());
+  EXPECT_EQ(indices.size(), 2U);  // distinct edge indices 0 and 1
+}
+
+TEST(MemorySampler, FallsBackAfterRejectionBudgetWhenAllRemembered) {
+  // Degree 4 > num_choices, every neighbour remembered (memory = 4): the
+  // rejection loop exhausts its budget, then the relaxed loop must still
+  // produce a distinct admissible-free choice instead of spinning forever.
+  const Graph g = complete(5);
+  GraphTopology topo(g);
+  ChannelSampler sampler;
+  sampler.prepare(config_of(1, 4), g.num_nodes());
+  std::array<NodeId, 4> all{};
+  for (NodeId i = 0; i < 4; ++i) all[i] = g.neighbor(0, i);
+  sampler.remember_partners(0, std::span<const NodeId>(all));
+
+  Rng rng(18);
+  std::array<NodeId, 1> out{};
+  ASSERT_EQ(sampler.choose(topo, rng, 0, std::span<NodeId>(out)), 1U);
+  EXPECT_LT(out[0], 4U);
+}
+
+TEST(MemorySampler, DistinctIndicesWithinOneRound) {
+  const Graph g = complete(9);  // degree 8
+  GraphTopology topo(g);
+  ChannelSampler sampler;
+  sampler.prepare(config_of(4, 3), g.num_nodes());
+
+  Rng rng(19);
+  std::array<NodeId, 4> out{};
+  for (int round = 0; round < 32; ++round) {
+    ASSERT_EQ(sampler.choose(topo, rng, 0, std::span<NodeId>(out)), 4U);
+    std::set<NodeId> indices(out.begin(), out.end());
+    EXPECT_EQ(indices.size(), 4U);
+    std::array<NodeId, 4> partners{};
+    for (std::size_t i = 0; i < 4; ++i) partners[i] = g.neighbor(0, out[i]);
+    sampler.remember_partners(0, std::span<const NodeId>(partners));
+  }
+}
+
+}  // namespace
+}  // namespace rrb

@@ -74,8 +74,7 @@ TEST(Churn, BroadcastSurvivesChurnAsEngineHook) {
   ChannelConfig chan;
   chan.num_choices = 4;
   PhoneCallEngine<DynamicOverlay> engine(overlay, chan, rng);
-  driver.set_join_callback([&](NodeId v) { engine.reset_node(v); });
-  engine.set_round_hook([&](Round t) { driver.apply(t); });
+  attach_churn(engine, driver);
   const RunResult r = engine.run(alg, NodeId{0}, RunLimits{});
   EXPECT_GT(driver.total_joins(), 0U);
   EXPECT_GT(driver.total_leaves(), 0U);
@@ -113,8 +112,7 @@ TEST(Churn, ReusedSlotsDoNotInheritInformedStatus) {
 
   Silent silent;
   PhoneCallEngine<DynamicOverlay> engine(overlay, ChannelConfig{}, rng);
-  driver.set_join_callback([&](NodeId v) { engine.reset_node(v); });
-  engine.set_round_hook([&](Round t) { driver.apply(t); });
+  attach_churn(engine, driver);
   RunLimits limits;
   limits.max_rounds = 60;
   const RunResult r = engine.run(silent, NodeId{0}, limits);

@@ -151,11 +151,13 @@ TEST(CoreBroadcast, FixedHorizonMeanDegreeRounds) {
   opt.scheme = BroadcastScheme::kFixedHorizonPush;
   opt.n_estimate = 1 << 10;  // pin n̂ so the horizon depends only on d
   const SchemeParts parts = make_scheme(g, opt);
-  const auto* push = dynamic_cast<const FixedHorizonPush*>(
+  // make_scheme type-erases through the thin adapter; unwrap it to reach
+  // the concrete protocol.
+  const auto* push = dynamic_cast<const ProtocolAdapter<FixedHorizonPush>*>(
       parts.protocol.get());
   ASSERT_NE(push, nullptr);
-  EXPECT_EQ(push->horizon(), make_push_horizon(1 << 10, 4));
-  EXPECT_NE(push->horizon(), make_push_horizon(1 << 10, 3));
+  EXPECT_EQ(push->inner().horizon(), make_push_horizon(1 << 10, 4));
+  EXPECT_NE(push->inner().horizon(), make_push_horizon(1 << 10, 3));
 }
 
 TEST(CoreBroadcast, FixedHorizonAcceptsNearEdgelessGraph) {

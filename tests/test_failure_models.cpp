@@ -209,12 +209,14 @@ TEST(BurstyOutage, SequentialisedVariantSurvivesWhereParallelCollapses) {
     }
     PhoneCallEngine<GraphTopology> engine(topo, chan, rng);
     engine.set_failure_model(bursty_outage(4, 1));
-    FourChoiceBroadcast parallel(fc);
-    SequentialisedFourChoice sequential(fc);
-    BroadcastProtocol& proto =
-        sequentialised ? static_cast<BroadcastProtocol&>(sequential)
-                       : static_cast<BroadcastProtocol&>(parallel);
-    const RunResult r = engine.run(proto, NodeId{0}, RunLimits{});
+    RunResult r;
+    if (sequentialised) {
+      SequentialisedFourChoice sequential(fc);
+      r = engine.run(sequential, NodeId{0}, RunLimits{});
+    } else {
+      FourChoiceBroadcast parallel(fc);
+      r = engine.run(parallel, NodeId{0}, RunLimits{});
+    }
     return static_cast<double>(r.final_informed) / static_cast<double>(n);
   };
 

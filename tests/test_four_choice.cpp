@@ -17,7 +17,8 @@ FourChoiceConfig config_for(std::uint64_t n, double alpha = 1.5) {
   return cfg;
 }
 
-RunResult run_alg(BroadcastProtocol& proto, const Graph& g,
+template <ProtocolImpl ProtocolT>
+RunResult run_alg(ProtocolT& proto, const Graph& g,
                   std::uint64_t seed, int choices = 4) {
   GraphTopology topo(g);
   Rng rng(seed);

@@ -35,9 +35,9 @@ TEST(Integration, FourChoiceTxGrowsSlowerThanPushTx) {
           if (four_choice) {
             FourChoiceConfig fc;
             fc.n_estimate = n;
-            return std::make_unique<FourChoiceBroadcast>(fc);
+            return make_protocol<FourChoiceBroadcast>(fc);
           }
-          return std::make_unique<PushProtocol>();
+          return make_protocol<PushProtocol>();
         },
         cfg);
     EXPECT_DOUBLE_EQ(out.completion_rate, 1.0);
@@ -63,7 +63,7 @@ TEST(Integration, SingleChoiceTransmissionsDropWithDegree) {
     cfg.seed = seed;
     const TrialOutcome out = run_trials(
         [n, d](Rng& rng) { return random_regular_simple(n, d, rng); },
-        [](const Graph&) { return std::make_unique<PushPullProtocol>(); },
+        [](const Graph&) { return make_protocol<PushPullProtocol>(); },
         cfg);
     EXPECT_DOUBLE_EQ(out.completion_rate, 1.0);
     return out.total_tx.mean;
@@ -86,7 +86,7 @@ TEST(Integration, Phase1NewlyInformedGrowsGeometrically) {
       [n](const Graph&) {
         FourChoiceConfig fc;
         fc.n_estimate = n;
-        return std::make_unique<FourChoiceBroadcast>(fc);
+        return make_protocol<FourChoiceBroadcast>(fc);
       },
       cfg);
   // Rounds 2..6 are deep inside the doubling regime at this size.
@@ -112,7 +112,7 @@ TEST(Integration, Phase2UninformedDecaysByConstantFactor) {
   const auto trace = trace_set_sizes(
       [n](Rng& rng) { return random_regular_simple(n, 8, rng); },
       [&fc](const Graph&) {
-        return std::make_unique<FourChoiceBroadcast>(fc);
+        return make_protocol<FourChoiceBroadcast>(fc);
       },
       cfg);
   std::vector<double> h;
@@ -257,7 +257,7 @@ TEST(Integration, RoundsScaleLogarithmicallyAcrossSizes) {
         [n](const Graph&) {
           FourChoiceConfig fc;
           fc.n_estimate = n;
-          return std::make_unique<FourChoiceBroadcast>(fc);
+          return make_protocol<FourChoiceBroadcast>(fc);
         },
         cfg);
     EXPECT_DOUBLE_EQ(out.completion_rate, 1.0);

@@ -217,7 +217,7 @@ std::vector<SchemeCase> scheme_cases() {
   {
     SchemeCase push;
     push.name = "push";
-    push.factory = [](const Graph&) { return std::make_unique<PushProtocol>(); };
+    push.factory = [](const Graph&) { return make_protocol<PushProtocol>(); };
     cases.push_back(std::move(push));
   }
   {
@@ -227,7 +227,7 @@ std::vector<SchemeCase> scheme_cases() {
     four.factory = [](const Graph& g) {
       FourChoiceConfig cfg;
       cfg.n_estimate = g.num_nodes();
-      return std::make_unique<FourChoiceBroadcast>(cfg);
+      return make_protocol<FourChoiceBroadcast>(cfg);
     };
     cases.push_back(std::move(four));
   }
@@ -239,7 +239,7 @@ std::vector<SchemeCase> scheme_cases() {
     seq.factory = [](const Graph& g) {
       FourChoiceConfig cfg;
       cfg.n_estimate = g.num_nodes();
-      return std::make_unique<SequentialisedFourChoice>(cfg);
+      return make_protocol<SequentialisedFourChoice>(cfg);
     };
     cases.push_back(std::move(seq));
   }

@@ -55,7 +55,6 @@ TEST(Throttled, RejectsBadConfig) {
 
 TEST(Throttled, NodesGoQuietAfterTau) {
   ThrottledPushPull proto(config_for(1 << 16, 8));
-  proto.reset(4);
   NodeLocalState state;
   state.informed_at = 5;
   EXPECT_EQ(proto.action(0, state, 5 + proto.tau()), Action::kPushPull);
@@ -152,7 +151,6 @@ TEST(FixedHorizonPush, HorizonFormulaAndValidation) {
 
 TEST(Throttled, StrictlyObliviousActionIgnoresNodeId) {
   ThrottledPushPull proto(config_for(1 << 12, 8));
-  proto.reset(16);
   NodeLocalState state;
   state.informed_at = 3;
   const Action a = proto.action(0, state, 5);

@@ -21,7 +21,7 @@ TEST(Trace, InformedIsMonotoneAndPartitionsN) {
   TraceConfig cfg = quick_config();
   const auto trace = trace_set_sizes(
       [n](Rng& rng) { return random_regular_simple(n, 6, rng); },
-      [](const Graph&) { return std::make_unique<PushProtocol>(); }, cfg);
+      [](const Graph&) { return make_protocol<PushProtocol>(); }, cfg);
   ASSERT_FALSE(trace.empty());
   double last = 0.0;
   for (const SetTracePoint& p : trace) {
@@ -38,7 +38,7 @@ TEST(Trace, NewlyInformedSumsToInformedMinusSource) {
   cfg.trials = 1;
   const auto trace = trace_set_sizes(
       [n](Rng& rng) { return random_regular_simple(n, 6, rng); },
-      [](const Graph&) { return std::make_unique<PushProtocol>(); }, cfg);
+      [](const Graph&) { return make_protocol<PushProtocol>(); }, cfg);
   double sum = 0.0;
   for (const SetTracePoint& p : trace) sum += p.newly_informed;
   EXPECT_NEAR(sum, static_cast<double>(n - 1), 1e-9);
@@ -53,7 +53,7 @@ TEST(Trace, HSetsAreNestedAndBelowUninformed) {
       [n](const Graph&) {
         FourChoiceConfig fc;
         fc.n_estimate = n;
-        return std::make_unique<FourChoiceBroadcast>(fc);
+        return make_protocol<FourChoiceBroadcast>(fc);
       },
       cfg);
   for (const SetTracePoint& p : trace) {
@@ -66,7 +66,7 @@ TEST(Trace, HSetsAreNestedAndBelowUninformed) {
 TEST(Trace, RoundIndicesAreSequential) {
   const auto trace = trace_set_sizes(
       [](Rng& rng) { return random_regular_simple(128, 4, rng); },
-      [](const Graph&) { return std::make_unique<PushProtocol>(); },
+      [](const Graph&) { return make_protocol<PushProtocol>(); },
       quick_config());
   for (std::size_t i = 0; i < trace.size(); ++i)
     EXPECT_EQ(trace[i].t, static_cast<Round>(i + 1));
@@ -83,7 +83,7 @@ TEST(Trace, EdgeUsageCountIsMonotoneDecreasing) {
       [n](const Graph&) {
         FourChoiceConfig fc;
         fc.n_estimate = n;
-        return std::make_unique<FourChoiceBroadcast>(fc);
+        return make_protocol<FourChoiceBroadcast>(fc);
       },
       cfg);
   double last = static_cast<double>(n);
@@ -100,7 +100,7 @@ TEST(Trace, HSetsSkippedWhenDisabled) {
   cfg.track_h_sets = false;
   const auto trace = trace_set_sizes(
       [](Rng& rng) { return random_regular_simple(128, 4, rng); },
-      [](const Graph&) { return std::make_unique<PushProtocol>(); }, cfg);
+      [](const Graph&) { return make_protocol<PushProtocol>(); }, cfg);
   for (const SetTracePoint& p : trace) {
     EXPECT_DOUBLE_EQ(p.h1, 0.0);
     EXPECT_DOUBLE_EQ(p.h4, 0.0);
@@ -115,7 +115,7 @@ TEST(Trace, AveragesOverTrialsAreFractional) {
   cfg.trials = 3;
   const auto trace = trace_set_sizes(
       [n](Rng& rng) { return random_regular_simple(n, 6, rng); },
-      [](const Graph&) { return std::make_unique<PushProtocol>(); }, cfg);
+      [](const Graph&) { return make_protocol<PushProtocol>(); }, cfg);
   for (const SetTracePoint& p : trace) {
     EXPECT_GE(p.informed, 0.0);
     EXPECT_LE(p.informed, static_cast<double>(n));
@@ -128,7 +128,7 @@ TEST(Trace, RejectsZeroTrials) {
   EXPECT_THROW(
       (void)trace_set_sizes(
           [](Rng& rng) { return random_regular_simple(64, 4, rng); },
-          [](const Graph&) { return std::make_unique<PushProtocol>(); },
+          [](const Graph&) { return make_protocol<PushProtocol>(); },
           cfg),
       std::logic_error);
 }

@@ -21,7 +21,7 @@ GraphFactory regular_factory(NodeId n, NodeId d) {
 }
 
 ProtocolFactory push_factory() {
-  return [](const Graph&) { return std::make_unique<PushProtocol>(); };
+  return [](const Graph&) { return make_protocol<PushProtocol>(); };
 }
 
 TEST(Trials, RunsRequestedNumberOfTrials) {
@@ -88,7 +88,7 @@ TEST(Trials, FourChoiceProtocolFactoryWorks) {
       [](const Graph& g) {
         FourChoiceConfig fc;
         fc.n_estimate = g.num_nodes();
-        return std::make_unique<FourChoiceBroadcast>(fc);
+        return make_protocol<FourChoiceBroadcast>(fc);
       },
       cfg);
   EXPECT_DOUBLE_EQ(out.completion_rate, 1.0);
