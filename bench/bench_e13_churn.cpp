@@ -1,10 +1,13 @@
 /// E13 — Robustness to membership churn (§1: "robust against limited
 /// changes in the size of the network"): nodes join and leave the overlay
 /// between broadcast rounds while Algorithm 1 runs.
+///
+/// Thin driver over the campaign subsystem: the churn axis lives in
+/// bench/campaigns/e13_churn.campaign (`overlay = true`, so the churn-0
+/// baseline row is measured on the same dynamic overlay); this binary only
+/// renders the paper table.
 
 #include "bench_util.hpp"
-
-#include "rrb/p2p/churn.hpp"
 
 using namespace rrb;
 using namespace rrb::bench;
@@ -14,66 +17,32 @@ int main() {
          "claim: the broadcast reaches (almost) all alive nodes despite "
          "joins/leaves between rounds");
 
-  const NodeId n0 = 1 << 13;
-  const NodeId d = 8;
-  constexpr int kTrials = 5;
+  const exp::CampaignSpec spec = exp::load_spec(campaign_path("e13_churn"));
+  const exp::CampaignOutcome out = exp::CampaignRunner(spec, {}).run();
 
   Table table({"events/round", "coverage", "joins", "leaves", "alive@end",
                "tx/node"});
-  table.set_title("Algorithm 1 (alpha = 2) under churn, n0 = 2^13, d = 8 "
-                  "(5 trials)");
+  table.set_title("Algorithm 1 (alpha = 2) under churn, n0 = 2^13, d = 8 (" +
+                  std::to_string(spec.trials) + " trials)");
   BenchReport json("e13_churn");
-  json.set("n0", static_cast<std::uint64_t>(n0))
-      .set("d", static_cast<std::uint64_t>(d))
-      .set("trials", kTrials);
-  for (const double rate : {0.0, 1.0, 4.0, 16.0, 64.0, 128.0}) {
-    double coverage = 0.0;
-    double joins = 0.0;
-    double leaves = 0.0;
-    double alive = 0.0;
-    double tx = 0.0;
-    for (int trial = 0; trial < kTrials; ++trial) {
-      Rng rng(derive_seed(0xed, static_cast<std::uint64_t>(
-                                    trial * 100 + rate * 10)));
-      DynamicOverlay overlay(n0 + n0 / 2, n0, d, rng);
-      ChurnConfig ccfg;
-      ccfg.joins_per_round = rate;
-      ccfg.leaves_per_round = rate;
-      ccfg.switches_per_round = 2;
-      ChurnDriver driver(overlay, ccfg, rng);
-
-      FourChoiceConfig fc;
-      fc.n_estimate = n0;
-      fc.alpha = 2.0;
-      FourChoiceBroadcast alg(fc);
-      ChannelConfig chan;
-      chan.num_choices = 4;
-      PhoneCallEngine<DynamicOverlay> engine(overlay, chan, rng);
-      attach_churn(engine, driver);
-      const RunResult r = engine.run(alg, overlay.random_alive(rng),
-                                     RunLimits{});
-      coverage += static_cast<double>(r.final_informed) /
-                  static_cast<double>(r.alive_at_end);
-      joins += static_cast<double>(driver.total_joins());
-      leaves += static_cast<double>(driver.total_leaves());
-      alive += static_cast<double>(r.alive_at_end);
-      tx += static_cast<double>(r.total_tx()) /
-            static_cast<double>(r.alive_at_end);
-    }
+  json.set("n0", static_cast<std::uint64_t>(spec.n_values.front()))
+      .set("d", static_cast<std::uint64_t>(spec.d_values.front()))
+      .set("trials", spec.trials);
+  for (const exp::CellResult& cell : out.cells) {
     table.begin_row();
-    table.add(rate, 1);
-    table.add(coverage / kTrials, 6);
-    table.add(joins / kTrials, 0);
-    table.add(leaves / kTrials, 0);
-    table.add(alive / kTrials, 0);
-    table.add(tx / kTrials, 2);
+    table.add(cell.cell.churn, 1);
+    table.add(record_number(cell.record, "coverage_mean"), 6);
+    table.add(record_number(cell.record, "joins_mean"), 0);
+    table.add(record_number(cell.record, "leaves_mean"), 0);
+    table.add(record_number(cell.record, "alive_mean"), 0);
+    table.add(record_number(cell.record, "tx_per_alive_mean"), 2);
     json.row()
-        .set("events_per_round", rate)
-        .set("coverage", coverage / kTrials)
-        .set("joins", joins / kTrials)
-        .set("leaves", leaves / kTrials)
-        .set("alive_at_end", alive / kTrials)
-        .set("tx_per_node", tx / kTrials);
+        .set("events_per_round", cell.cell.churn)
+        .set("coverage", record_number(cell.record, "coverage_mean"))
+        .set("joins", record_number(cell.record, "joins_mean"))
+        .set("leaves", record_number(cell.record, "leaves_mean"))
+        .set("alive_at_end", record_number(cell.record, "alive_mean"))
+        .set("tx_per_node", record_number(cell.record, "tx_per_alive_mean"));
   }
   std::cout << table << "\n";
   json.write();

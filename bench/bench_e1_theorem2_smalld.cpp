@@ -2,65 +2,79 @@
 /// d = 8, within O(log n) rounds using O(n log log n) transmissions.
 /// Sweep n; compare per-node transmissions against the push baseline,
 /// whose cost is Θ(log n) per node.
+///
+/// Thin driver over the campaign subsystem: the grid lives in
+/// bench/campaigns/e1_smalld.campaign and runs through rrb::exp (cell
+/// seeds derive from (campaign_seed, cell_key) — the campaign seeding
+/// contract); this binary only renders the paper table and the fits.
 
 #include "bench_util.hpp"
 
 using namespace rrb;
 using namespace rrb::bench;
 
+namespace {
+
+const exp::JsonObject& record_for(const std::vector<exp::CellResult>& cells,
+                                  BroadcastScheme scheme, NodeId n) {
+  return find_record(cells, [scheme, n](const exp::CampaignCell& cell) {
+    return cell.scheme == scheme && cell.n == n;
+  });
+}
+
+}  // namespace
+
 int main() {
   banner("E1: Theorem 2 — four-choice broadcast, small degree (d = 8)",
          "claim: rounds = O(log n); transmissions/node = O(log log n), "
          "vs push's Theta(log n)");
 
+  const exp::CampaignSpec spec = exp::load_spec(campaign_path("e1_smalld"));
+  exp::CampaignRunner runner(spec, {});
+  const exp::CampaignOutcome out = runner.run();
+
   Table table({"n", "log2(n)", "lglg(n)", "4c rounds", "4c done@", "4c ok",
                "4c tx/node", "push tx/node", "push/4c"});
-  table.set_title("Algorithm 1 vs push baseline (5 trials each)");
+  table.set_title("Algorithm 1 vs push baseline (" +
+                  std::to_string(spec.trials) + " trials each)");
   BenchReport json("e1_theorem2_smalld");
 
   std::vector<double> lgs, lglgs, rounds, fc_tx, push_tx;
-  for (const NodeId n : {1U << 10, 1U << 11, 1U << 12, 1U << 13, 1U << 14,
-                         1U << 15, 1U << 16, 1U << 17}) {
+  for (const NodeId n : spec.n_values) {
     const double lg = std::log2(static_cast<double>(n));
     const double lglg = std::log2(lg);
 
-    TrialConfig fc_cfg;
-    fc_cfg.trials = 5;
-    fc_cfg.seed = 0xe1 + n;
-    fc_cfg.channel.num_choices = 4;
-    const TrialOutcome fc = run_trials(regular_graph(n, 8),
-                                       four_choice_protocol(n), fc_cfg);
-
-    TrialConfig push_cfg;
-    push_cfg.trials = 5;
-    push_cfg.seed = 0x91e1 + n;
-    const TrialOutcome push =
-        run_trials(regular_graph(n, 8), push_protocol(), push_cfg);
+    const exp::JsonObject& fc =
+        record_for(out.cells, BroadcastScheme::kFourChoice, n);
+    const exp::JsonObject& push =
+        record_for(out.cells, BroadcastScheme::kPush, n);
 
     table.begin_row();
     table.add(static_cast<std::uint64_t>(n));
     table.add(lg, 1);
     table.add(lglg, 2);
-    table.add(fc.rounds.mean, 1);
-    table.add(fc.completion_round.mean, 1);
-    table.add(fc.completion_rate, 2);
-    table.add(fc.tx_per_node.mean, 2);
-    table.add(push.tx_per_node.mean, 2);
-    table.add(push.tx_per_node.mean / fc.tx_per_node.mean, 2);
+    table.add(record_number(fc, "rounds_mean"), 1);
+    table.add(record_number(fc, "completion_mean"), 1);
+    table.add(record_number(fc, "completion_rate"), 2);
+    table.add(record_number(fc, "tx_per_node_mean"), 2);
+    table.add(record_number(push, "tx_per_node_mean"), 2);
+    table.add(record_number(push, "tx_per_node_mean") /
+                  record_number(fc, "tx_per_node_mean"),
+              2);
 
     json.row()
         .set("n", static_cast<std::uint64_t>(n))
-        .set("fc_rounds_mean", fc.rounds.mean)
-        .set("fc_completion_mean", fc.completion_round.mean)
-        .set("fc_completion_rate", fc.completion_rate)
-        .set("fc_tx_per_node", fc.tx_per_node.mean)
-        .set("push_tx_per_node", push.tx_per_node.mean);
+        .set("fc_rounds_mean", record_number(fc, "rounds_mean"))
+        .set("fc_completion_mean", record_number(fc, "completion_mean"))
+        .set("fc_completion_rate", record_number(fc, "completion_rate"))
+        .set("fc_tx_per_node", record_number(fc, "tx_per_node_mean"))
+        .set("push_tx_per_node", record_number(push, "tx_per_node_mean"));
 
     lgs.push_back(lg);
     lglgs.push_back(lglg);
-    rounds.push_back(fc.completion_round.mean);
-    fc_tx.push_back(fc.tx_per_node.mean);
-    push_tx.push_back(push.tx_per_node.mean);
+    rounds.push_back(record_number(fc, "completion_mean"));
+    fc_tx.push_back(record_number(fc, "tx_per_node_mean"));
+    push_tx.push_back(record_number(push, "tx_per_node_mean"));
   }
   std::cout << table << "\n";
 

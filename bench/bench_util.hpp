@@ -9,14 +9,11 @@
 /// bench trajectory across PRs: wall time, thread count, git revision and
 /// whatever per-case metrics the bench adds.
 
-#include <chrono>
 #include <cmath>
 #include <cstdint>
-#include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <memory>
-#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -24,6 +21,8 @@
 #include "rrb/analysis/fit.hpp"
 #include "rrb/common/math.hpp"
 #include "rrb/common/table.hpp"
+#include "rrb/exp/artifact.hpp"
+#include "rrb/exp/campaign.hpp"
 #include "rrb/graph/generators.hpp"
 #include "rrb/phonecall/engine.hpp"
 #include "rrb/protocols/baselines.hpp"
@@ -40,7 +39,39 @@
 #define RRB_GIT_DESCRIBE "unknown"
 #endif
 
+// Absolute path of bench/campaigns/, baked in so the migrated experiment
+// binaries find their declarative specs whatever the working directory is.
+#ifndef RRB_CAMPAIGN_DIR
+#define RRB_CAMPAIGN_DIR "bench/campaigns"
+#endif
+
 namespace rrb::bench {
+
+/// Path of a committed campaign spec, e.g. campaign_path("e1_smalld").
+inline std::string campaign_path(const std::string& stem) {
+  return std::string(RRB_CAMPAIGN_DIR) + "/" + stem + ".campaign";
+}
+
+/// Numeric field of a campaign cell record; throws naming the key when the
+/// record lacks it (a migrated bench asking for a metric its spec's
+/// execution path does not produce is a harness bug, not data).
+inline double record_number(const rrb::exp::JsonObject& record,
+                            const char* key) {
+  const auto value = record.find_number(key);
+  if (!value)
+    throw std::logic_error(std::string("campaign record lacks ") + key);
+  return *value;
+}
+
+/// First record in `cells` matching `pred(cell)`; throws if absent. The
+/// migrated bench drivers use this to look cells up by axis values.
+template <typename Predicate>
+const rrb::exp::JsonObject& find_record(
+    const std::vector<rrb::exp::CellResult>& cells, Predicate&& pred) {
+  for (const rrb::exp::CellResult& cell : cells)
+    if (pred(cell.cell)) return cell.record;
+  throw std::logic_error("campaign is missing an expected cell");
+}
 
 /// Worker threads the default RunnerConfig resolves to — what every
 /// run_trials/trace_set_sizes call in the benches will use unless a bench
@@ -63,133 +94,30 @@ inline void banner(const std::string& id, const std::string& claim) {
 
 // ---- Machine-readable bench trajectory ------------------------------------
 
-/// One flat JSON object: ordered string/number/bool fields.
-class JsonObject {
- public:
-  JsonObject& set(const std::string& key, const std::string& value) {
-    fields_.emplace_back(key, quote(value));
-    return *this;
-  }
-  JsonObject& set(const std::string& key, const char* value) {
-    return set(key, std::string(value));
-  }
-  JsonObject& set(const std::string& key, double value) {
-    std::ostringstream os;
-    os.precision(17);
-    os << value;
-    fields_.emplace_back(key, os.str());
-    return *this;
-  }
-  JsonObject& set(const std::string& key, std::uint64_t value) {
-    fields_.emplace_back(key, std::to_string(value));
-    return *this;
-  }
-  JsonObject& set(const std::string& key, int value) {
-    fields_.emplace_back(key, std::to_string(value));
-    return *this;
-  }
-  JsonObject& set(const std::string& key, bool value) {
-    fields_.emplace_back(key, value ? "true" : "false");
-    return *this;
-  }
-
-  void write(std::ostream& os, int indent) const {
-    const std::string pad(static_cast<std::size_t>(indent), ' ');
-    os << "{";
-    for (std::size_t i = 0; i < fields_.size(); ++i) {
-      if (i != 0) os << ",";
-      os << "\n" << pad << "  \"" << fields_[i].first
-         << "\": " << fields_[i].second;
-    }
-    os << "\n" << pad << "}";
-  }
-
- private:
-  static std::string quote(const std::string& s) {
-    std::string out = "\"";
-    for (const char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      if (c == '\n') {
-        out += "\\n";
-        continue;
-      }
-      out += c;
-    }
-    out += '"';
-    return out;
-  }
-
-  std::vector<std::pair<std::string, std::string>> fields_;
-};
+/// Flat JSON record — the shared serialisation type from the campaign
+/// subsystem's artifact layer (rrb/exp/artifact.hpp), so benches and
+/// campaigns escape and format through one code path.
+using JsonObject = rrb::exp::JsonObject;
 
 /// Accumulates a bench's machine-readable results and writes
 /// `BENCH_<name>.json` (into $RRB_BENCH_JSON_DIR, default the working
 /// directory) when write() is called — alongside, never instead of, the
-/// human-readable tables. Standard fields (bench name, git revision,
-/// thread count, wall time) are filled automatically so trajectory files
-/// from different PRs are comparable.
-class BenchReport {
+/// human-readable tables. A thin wrapper over rrb::exp::BenchReport that
+/// bakes in the git revision and the resolved thread count, so trajectory
+/// files from different PRs are comparable.
+class BenchReport : public rrb::exp::BenchReport {
  public:
   explicit BenchReport(std::string name)
-      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+      : rrb::exp::BenchReport(std::move(name), RRB_GIT_DESCRIBE,
+                              report_threads()) {}
 
-  /// Add a top-level scalar (e.g. a fitted slope).
+  /// Add a top-level scalar (e.g. a fitted slope). Re-declared so the
+  /// builder keeps returning the bench-side type.
   template <typename T>
   BenchReport& set(const std::string& key, T value) {
-    top_.set(key, value);
+    rrb::exp::BenchReport::set(key, value);
     return *this;
   }
-
-  /// Append a per-case row; fill in the returned object.
-  JsonObject& row() {
-    rows_.emplace_back();
-    return rows_.back();
-  }
-
-  /// Write BENCH_<name>.json and report the path on stdout. Returns the
-  /// path written.
-  std::string write() {
-    const auto elapsed = std::chrono::steady_clock::now() - start_;
-    const double wall_ms =
-        std::chrono::duration<double, std::milli>(elapsed).count();
-
-    std::string dir = ".";
-    if (const char* env = std::getenv("RRB_BENCH_JSON_DIR");
-        env != nullptr && *env != '\0')
-      dir = env;
-    const std::string path = dir + "/BENCH_" + name_ + ".json";
-
-    JsonObject header;
-    header.set("bench", name_)
-        .set("git", RRB_GIT_DESCRIBE)
-        .set("threads", report_threads())
-        .set("wall_ms", wall_ms);
-
-    std::ofstream os(path);
-    if (!os) {
-      std::cerr << "warning: cannot write " << path << "\n";
-      return path;
-    }
-    os << "{\n  \"meta\": ";
-    header.write(os, 2);
-    os << ",\n  \"top\": ";
-    top_.write(os, 2);
-    os << ",\n  \"rows\": [";
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      if (i != 0) os << ",";
-      os << "\n    ";
-      rows_[i].write(os, 4);
-    }
-    os << (rows_.empty() ? "]" : "\n  ]") << "\n}\n";
-    std::cout << "bench json: " << path << "\n";
-    return path;
-  }
-
- private:
-  std::string name_;
-  std::chrono::steady_clock::time_point start_;
-  JsonObject top_;
-  std::vector<JsonObject> rows_;
 };
 
 // ---- Factories -------------------------------------------------------------

@@ -1,32 +1,34 @@
-/// Command-line simulator: run any protocol on any topology — either a
-/// generated one or an edge list loaded from a file (see rrb/graph/io.hpp)
-/// — and print the outcome. Demonstrates composing the whole public API
-/// from flags, the way a downstream experimenter would.
+/// Command-line simulator: run any broadcast scheme on any topology —
+/// either a generated one or an edge list loaded from a file (see
+/// rrb/graph/io.hpp) — and print the outcome. Demonstrates composing the
+/// whole public API from flags, the way a downstream experimenter would.
 ///
 /// Usage:
-///   simulate_cli [--protocol push|pull|push-pull|median|four-choice|seq]
+///   simulate_cli [--protocol SCHEME] [--list-schemes]
 ///                [--graph regular|gnp|hypercube|pa|FILE.edges]
 ///                [--n 16384] [--d 8] [--choices K] [--memory M]
 ///                [--quasirandom] [--failure P] [--alpha A] [--seed S]
-///                [--trials T] [--threads W] [--chunk C]
+///                [--trials T] [--threads W] [--chunk C] [--json PATH]
 ///
-/// With no arguments it runs the four-choice algorithm on G(2^14, 8).
-/// Trials run on the deterministic parallel runner: --threads only changes
-/// wall-clock time, never the printed numbers.
+/// SCHEME is any canonical scheme name (`--list-schemes` prints all of
+/// them, straight from the library's scheme table) or one of the short
+/// aliases push-pull/median/seq. With no arguments it runs the four-choice
+/// algorithm on G(2^14, 8). Trials run on the deterministic parallel
+/// runner: --threads only changes wall-clock time, never the printed
+/// numbers. --json additionally writes the summaries as a machine-readable
+/// report through the shared artifact writer.
 
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "rrb/common/table.hpp"
+#include "rrb/core/scheme_dispatch.hpp"
+#include "rrb/exp/artifact.hpp"
 #include "rrb/graph/algorithms.hpp"
 #include "rrb/graph/generators.hpp"
 #include "rrb/graph/io.hpp"
-#include "rrb/protocols/baselines.hpp"
-#include "rrb/protocols/four_choice.hpp"
-#include "rrb/protocols/median_counter.hpp"
-#include "rrb/protocols/sequentialised.hpp"
+#include "rrb/sim/runner.hpp"
 #include "rrb/sim/trial.hpp"
 
 namespace {
@@ -36,26 +38,32 @@ struct Options {
   std::string graph = "regular";
   rrb::NodeId n = 1 << 14;
   rrb::NodeId d = 8;
-  int choices = -1;   // -1 = protocol default
-  int memory = -1;    // -1 = protocol default
+  int choices = -1;   // -1 = scheme default
+  int memory = -1;    // -1 = scheme default
   bool quasirandom = false;
   double failure = 0.0;
   double alpha = 1.5;
   std::uint64_t seed = 1;
   int trials = 3;
   rrb::RunnerConfig runner;
+  std::string json_path;  // empty = no JSON report
+  bool list_schemes = false;
 };
 
 void usage() {
   std::cout <<
-      "usage: simulate_cli [--protocol push|pull|push-pull|median|"
-      "four-choice|seq]\n"
+      "usage: simulate_cli [--protocol SCHEME] [--list-schemes]\n"
       "                    [--graph regular|gnp|hypercube|pa|FILE.edges]\n"
       "                    [--n N] [--d D] [--choices K] [--memory M]\n"
       "                    [--quasirandom] [--failure P] [--alpha A] "
       "[--seed S] [--trials T]\n"
-      "                    [--threads W] [--chunk C]\n"
+      "                    [--threads W] [--chunk C] [--json PATH]\n"
       "\n"
+      "  --protocol SCHEME  a canonical scheme name (see --list-schemes) "
+      "or one of\n"
+      "               the aliases push-pull, median, seq\n"
+      "  --list-schemes  print every scheme the library implements and "
+      "exit\n"
       "  --quasirandom  quasirandom channel selection "
       "(Doerr-Friedrich-Sauerwald):\n"
       "               each node walks its neighbour list cyclically from a "
@@ -69,7 +77,10 @@ void usage() {
       "               Results are identical for every W — only wall-clock "
       "time changes.\n"
       "  --chunk C    consecutive trials per scheduling task (default 0 = "
-      "auto)\n";
+      "auto)\n"
+      "  --json PATH  also write the summaries as a JSON report (shared "
+      "artifact\n"
+      "               writer, same layout as the BENCH_*.json files)\n";
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -81,6 +92,7 @@ bool parse(int argc, char** argv, Options& opt) {
     };
     if (flag == "--help" || flag == "-h") return false;
     if (flag == "--protocol") opt.protocol = next();
+    else if (flag == "--list-schemes") opt.list_schemes = true;
     else if (flag == "--graph") opt.graph = next();
     else if (flag == "--n") opt.n = static_cast<rrb::NodeId>(std::stoul(next()));
     else if (flag == "--d") opt.d = static_cast<rrb::NodeId>(std::stoul(next()));
@@ -93,6 +105,7 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (flag == "--trials") opt.trials = std::stoi(next());
     else if (flag == "--threads") opt.runner.threads = std::stoi(next());
     else if (flag == "--chunk") opt.runner.chunk = std::stoi(next());
+    else if (flag == "--json") opt.json_path = next();
     else throw std::runtime_error("unknown flag: " + flag);
   }
   if (opt.runner.threads < 0) throw std::runtime_error("--threads must be >= 0");
@@ -112,6 +125,21 @@ int main(int argc, char** argv) {
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
+    usage();
+    return 2;
+  }
+
+  if (opt.list_schemes) {
+    // One source of truth: the library's scheme table.
+    for (const BroadcastScheme scheme : kAllSchemes)
+      std::cout << scheme_name(scheme) << "\n";
+    return 0;
+  }
+
+  const auto scheme = parse_scheme(opt.protocol);
+  if (!scheme) {
+    std::cerr << "error: unknown protocol " << opt.protocol
+              << " (try --list-schemes)\n";
     usage();
     return 2;
   }
@@ -149,53 +177,30 @@ int main(int argc, char** argv) {
     opt.n = loaded.num_nodes();
   }
 
-  // Protocol factory + channel defaults.
+  // The scheme's canonical protocol/channel pairing, via the same dispatch
+  // the broadcast() facade uses; CLI channel overrides go on top.
+  BroadcastOptions scheme_options;
+  scheme_options.scheme = *scheme;
+  scheme_options.n_estimate = opt.n;
+  scheme_options.alpha = opt.alpha;
+  scheme_options.failure_prob = opt.failure;
+  scheme_options.memory = opt.memory;
+  scheme_options.quasirandom = opt.quasirandom;
+
+  SchemeShape shape;
+  shape.n = opt.n;
+  shape.degree = opt.d;
+  shape.mean_degree = static_cast<double>(opt.d);
   ChannelConfig channel;
-  ProtocolFactory protocol_factory;
-  if (opt.protocol == "push") {
-    protocol_factory = [](const Graph&) {
-      return make_protocol<PushProtocol>();
-    };
-  } else if (opt.protocol == "pull") {
-    protocol_factory = [](const Graph&) {
-      return make_protocol<PullProtocol>();
-    };
-  } else if (opt.protocol == "push-pull") {
-    protocol_factory = [](const Graph&) {
-      return make_protocol<PushPullProtocol>();
-    };
-  } else if (opt.protocol == "median") {
-    protocol_factory = [&](const Graph&) {
-      MedianCounterConfig cfg;
-      cfg.n_estimate = opt.n;
-      return make_protocol<MedianCounterProtocol>(cfg);
-    };
-  } else if (opt.protocol == "four-choice") {
-    channel.num_choices = 4;
-    protocol_factory = [&](const Graph&) {
-      FourChoiceConfig cfg;
-      cfg.n_estimate = opt.n;
-      cfg.alpha = opt.alpha;
-      return make_protocol<FourChoiceBroadcast>(cfg);
-    };
-  } else if (opt.protocol == "seq") {
-    channel.num_choices = 1;
-    channel.memory = 3;
-    protocol_factory = [&](const Graph&) {
-      FourChoiceConfig cfg;
-      cfg.n_estimate = opt.n;
-      cfg.alpha = opt.alpha;
-      return make_protocol<SequentialisedFourChoice>(cfg);
-    };
-  } else {
-    std::cerr << "error: unknown protocol " << opt.protocol << "\n";
-    usage();
+  try {
+    channel = with_scheme(
+        shape, scheme_options,
+        [](auto, const ChannelConfig& paired) { return paired; });
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
     return 2;
   }
   if (opt.choices > 0) channel.num_choices = opt.choices;
-  if (opt.memory >= 0) channel.memory = opt.memory;
-  channel.quasirandom = opt.quasirandom;
-  channel.failure_prob = opt.failure;
   if (channel.quasirandom && channel.memory > 0) {
     std::cerr << "error: --quasirandom cannot be combined with a positive "
                  "memory window (use --memory 0 with seq)\n";
@@ -208,8 +213,12 @@ int main(int argc, char** argv) {
   config.channel = channel;
   config.runner = opt.runner;
 
-  const TrialOutcome out = run_trials(graph_factory, protocol_factory,
-                                      config);
+  const TrialOutcome out = run_trials(
+      graph_factory,
+      [&scheme_options](const Graph& graph) {
+        return make_scheme(graph, scheme_options).protocol;
+      },
+      config);
 
   Table table({"metric", "mean", "min", "max"});
   table.set_title(opt.protocol + " on " + opt.graph + " (n=" +
@@ -230,5 +239,32 @@ int main(int argc, char** argv) {
   row("pull transmissions", out.pull_tx, 0);
   std::cout << table;
   std::cout << "completion rate: " << out.completion_rate << "\n";
+
+  if (!opt.json_path.empty()) {
+    exp::BenchReport report("simulate_cli", "n/a",
+                            ParallelRunner::resolve_threads(opt.runner));
+    report.set("scheme", scheme_name(*scheme))
+        .set("graph", opt.graph)
+        .set("n", static_cast<std::uint64_t>(opt.n))
+        .set("d", static_cast<std::uint64_t>(opt.d))
+        .set("trials", opt.trials)
+        .set("seed", static_cast<std::uint64_t>(opt.seed))
+        .set("completion_rate", out.completion_rate);
+    auto summary_row = [&report](const char* metric, const Summary& s) {
+      report.row()
+          .set("metric", metric)
+          .set("mean", s.mean)
+          .set("stddev", s.stddev)
+          .set("min", s.min)
+          .set("max", s.max)
+          .set("median", s.median);
+    };
+    summary_row("rounds", out.rounds);
+    summary_row("completion_round", out.completion_round);
+    summary_row("tx_per_node", out.tx_per_node);
+    summary_row("push_tx", out.push_tx);
+    summary_row("pull_tx", out.pull_tx);
+    report.write_to(opt.json_path);
+  }
   return out.completion_rate == 1.0 ? 0 : 1;
 }

@@ -26,6 +26,20 @@ const char* scheme_name(BroadcastScheme scheme) {
                            std::to_string(static_cast<int>(scheme)));
 }
 
+std::optional<BroadcastScheme> parse_scheme(std::string_view name) {
+  for (const BroadcastScheme scheme : kAllSchemes)
+    if (name == scheme_name(scheme)) return scheme;
+  // Short aliases kept for CLI ergonomics and backward compatibility.
+  if (name == "push-pull" || name == "pushpull")
+    return BroadcastScheme::kPushPull;
+  if (name == "fixed-horizon") return BroadcastScheme::kFixedHorizonPush;
+  if (name == "median") return BroadcastScheme::kMedianCounter;
+  if (name == "throttled") return BroadcastScheme::kThrottledPushPull;
+  if (name == "seq" || name == "sequentialised")
+    return BroadcastScheme::kSequentialised;
+  return std::nullopt;
+}
+
 SchemeParts make_scheme(const Graph& graph, const BroadcastOptions& options) {
   return with_scheme(
       graph, options, [](auto proto, const ChannelConfig& channel) {

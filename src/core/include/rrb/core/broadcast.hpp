@@ -1,7 +1,10 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string_view>
 
 #include "rrb/common/runner_config.hpp"
 #include "rrb/graph/graph.hpp"
@@ -32,6 +35,21 @@ enum class BroadcastScheme {
   kThrottledPushPull,  ///< age-throttled push&pull (Elsässer-style)
   kFourChoice,         ///< the paper's Algorithm 1 / 2, picked by degree
   kSequentialised,     ///< §1.2 footnote 2: 1 choice/step + memory 3
+};
+
+/// Every scheme the library implements, in enum order. The single source of
+/// truth for "all schemes": reports, the campaign spec parser and
+/// simulate_cli's --list-schemes all iterate this array, so adding a scheme
+/// here (plus its scheme_name/parse_scheme entries) propagates everywhere.
+inline constexpr std::array<BroadcastScheme, 8> kAllSchemes = {
+    BroadcastScheme::kPush,
+    BroadcastScheme::kPull,
+    BroadcastScheme::kPushPull,
+    BroadcastScheme::kFixedHorizonPush,
+    BroadcastScheme::kMedianCounter,
+    BroadcastScheme::kThrottledPushPull,
+    BroadcastScheme::kFourChoice,
+    BroadcastScheme::kSequentialised,
 };
 
 /// Options for broadcast(). Defaults reproduce the paper's setting.
@@ -93,5 +111,13 @@ struct SchemeParts {
 
 /// Human-readable scheme name (stable; used in reports).
 [[nodiscard]] const char* scheme_name(BroadcastScheme scheme);
+
+/// Inverse of scheme_name: the scheme for `name`, or nullopt if unknown.
+/// Accepts every canonical scheme_name() spelling plus the short aliases
+/// the CLI tools historically used ("median", "seq", "fixed-horizon",
+/// "throttled"). Campaign spec files and simulate_cli both parse through
+/// here, so scheme naming has one source of truth.
+[[nodiscard]] std::optional<BroadcastScheme> parse_scheme(
+    std::string_view name);
 
 }  // namespace rrb

@@ -25,20 +25,32 @@
 
 namespace rrb {
 
+/// Size/degree summary of a topology — everything with_scheme() needs to
+/// pick a protocol variant, derive horizons and pair the canonical channel.
+/// Harnesses running on something other than a Graph (the churn overlay,
+/// a future distributed shard) describe their topology with a shape and
+/// get the same scheme pairing the facade uses.
+struct SchemeShape {
+  NodeId n = 0;       ///< node count (>= 2)
+  NodeId degree = 0;  ///< representative degree: the regular degree, or
+                      ///< the minimum degree for irregular graphs
+  double mean_degree = 0.0;  ///< mean degree (2|E|/n); 0 = assume `degree`
+};
+
 namespace detail {
 
 /// Horizon derivation for kFixedHorizonPush. The horizon needs the degree;
 /// fall back to the mean for irregular graphs (the constant C_d is flat for
 /// d above ~8 anyway). The degree sum is 2|E| — self-loops contribute two
 /// stubs to their node's degree and one edge to the count.
-[[nodiscard]] inline Round fixed_horizon_for(const Graph& graph,
+[[nodiscard]] inline Round fixed_horizon_for(const SchemeShape& shape,
                                              std::uint64_t n_estimate) {
-  const Count total = 2 * graph.num_edges();
-  RRB_REQUIRE(total > 0,
+  const double mean_degree = shape.mean_degree > 0.0
+                                 ? shape.mean_degree
+                                 : static_cast<double>(shape.degree);
+  RRB_REQUIRE(mean_degree > 0.0,
               "fixed-horizon push needs a non-empty adjacency: a graph "
               "with no edges has no mean degree to derive a horizon from");
-  const double mean_degree =
-      static_cast<double>(total) / static_cast<double>(graph.num_nodes());
   const int d = std::max(3, static_cast<int>(std::lround(mean_degree)));
   return make_push_horizon(n_estimate, d);
 }
@@ -50,14 +62,14 @@ namespace detail {
 /// protocol's static type. The visitor must accept any ProtocolImpl by
 /// value (generic lambda); all branches must return the same type.
 ///
-/// Throws std::logic_error for graphs with < 2 nodes, out-of-enum scheme
+/// Throws std::logic_error for shapes with < 2 nodes, out-of-enum scheme
 /// values, and option combinations the channel layer rejects.
 template <typename Visitor>
-decltype(auto) with_scheme(const Graph& graph, const BroadcastOptions& options,
-                           Visitor&& visit) {
-  RRB_REQUIRE(graph.num_nodes() >= 2, "broadcast needs >= 2 nodes");
+decltype(auto) with_scheme(const SchemeShape& shape,
+                           const BroadcastOptions& options, Visitor&& visit) {
+  RRB_REQUIRE(shape.n >= 2, "broadcast needs >= 2 nodes");
   const std::uint64_t n_est =
-      options.n_estimate != 0 ? options.n_estimate : graph.num_nodes();
+      options.n_estimate != 0 ? options.n_estimate : shape.n;
 
   ChannelConfig channel;
   channel.failure_prob = options.failure_prob;
@@ -78,7 +90,7 @@ decltype(auto) with_scheme(const Graph& graph, const BroadcastOptions& options,
     case BroadcastScheme::kPushPull:
       return finish(PushPullProtocol{});
     case BroadcastScheme::kFixedHorizonPush:
-      return finish(FixedHorizonPush(detail::fixed_horizon_for(graph, n_est)));
+      return finish(FixedHorizonPush(detail::fixed_horizon_for(shape, n_est)));
     case BroadcastScheme::kMedianCounter: {
       MedianCounterConfig cfg;
       cfg.n_estimate = n_est;
@@ -87,7 +99,7 @@ decltype(auto) with_scheme(const Graph& graph, const BroadcastOptions& options,
     case BroadcastScheme::kThrottledPushPull: {
       ThrottledConfig cfg;
       cfg.n_estimate = n_est;
-      cfg.degree = std::max<NodeId>(2, graph.min_degree());
+      cfg.degree = std::max<NodeId>(2, shape.degree);
       return finish(ThrottledPushPull(cfg));
     }
     case BroadcastScheme::kFourChoice: {
@@ -96,8 +108,7 @@ decltype(auto) with_scheme(const Graph& graph, const BroadcastOptions& options,
       cfg.alpha = options.alpha;
       channel.num_choices = 4;
       // Algorithm 1 vs 2 selected by degree, as the paper prescribes.
-      const NodeId d = graph.regular_degree().value_or(graph.min_degree());
-      if (four_choice_uses_large_degree(cfg, d))
+      if (four_choice_uses_large_degree(cfg, shape.degree))
         return finish(FourChoiceLargeDegree(cfg));
       return finish(FourChoiceBroadcast(cfg));
     }
@@ -119,6 +130,22 @@ decltype(auto) with_scheme(const Graph& graph, const BroadcastOptions& options,
       "scheme this library implements",
       __FILE__, __LINE__,
       "scheme value " + std::to_string(static_cast<int>(options.scheme)));
+}
+
+/// Graph convenience overload: summarise the graph into a SchemeShape and
+/// dispatch. The representative degree is the regular degree when there is
+/// one, the minimum degree otherwise (what the throttled and four-choice
+/// branches have always keyed on).
+template <typename Visitor>
+decltype(auto) with_scheme(const Graph& graph, const BroadcastOptions& options,
+                           Visitor&& visit) {
+  RRB_REQUIRE(graph.num_nodes() >= 2, "broadcast needs >= 2 nodes");
+  SchemeShape shape;
+  shape.n = graph.num_nodes();
+  shape.degree = graph.regular_degree().value_or(graph.min_degree());
+  shape.mean_degree = static_cast<double>(2 * graph.num_edges()) /
+                      static_cast<double>(graph.num_nodes());
+  return with_scheme(shape, options, std::forward<Visitor>(visit));
 }
 
 }  // namespace rrb

@@ -1,0 +1,430 @@
+#include "rrb/exp/campaign.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "rrb/core/scheme_dispatch.hpp"
+#include "rrb/graph/generators.hpp"
+#include "rrb/p2p/churn.hpp"
+#include "rrb/p2p/overlay.hpp"
+#include "rrb/phonecall/engine.hpp"
+#include "rrb/rng/rng.hpp"
+#include "rrb/sim/aggregate.hpp"
+#include "rrb/sim/runner.hpp"
+#include "rrb/sim/trial.hpp"
+
+namespace rrb::exp {
+
+namespace {
+
+[[nodiscard]] std::string to_hex(std::uint64_t value) {
+  std::ostringstream os;
+  os << "0x" << std::hex << value;
+  return os.str();
+}
+
+/// The facade options a cell translates to. The per-run seed fields are
+/// irrelevant here: trial randomness comes from Rng(cell.seed).fork(trial).
+[[nodiscard]] BroadcastOptions options_for(const CampaignSpec& spec,
+                                           const CampaignCell& cell) {
+  BroadcastOptions options;
+  options.scheme = cell.scheme;
+  options.n_estimate = cell.n;
+  options.alpha = cell.alpha;
+  options.failure_prob = cell.failure;
+  options.quasirandom = cell.quasirandom;
+  options.max_rounds = spec.max_rounds;
+  return options;
+}
+
+// Cells reaching the runner come from expand_cells, which has already
+// normalised cell.d to the family's effective degree (hypercube dim,
+// complete n-1) — so cell.d IS the degree the topology will have, and
+// there is exactly one place that derives it (spec.cpp).
+
+[[nodiscard]] SchemeShape shape_for(const CampaignCell& cell) {
+  SchemeShape shape;
+  shape.n = cell.n;
+  shape.degree = cell.d;
+  shape.mean_degree = static_cast<double>(cell.d);
+  return shape;
+}
+
+[[nodiscard]] GraphFactory graph_factory_for(const CampaignCell& cell) {
+  const NodeId n = cell.n;
+  const NodeId d = cell.d;
+  switch (cell.graph) {
+    case GraphFamily::kRegular:
+      return [n, d](Rng& rng) { return random_regular_simple(n, d, rng); };
+    case GraphFamily::kConfigModel:
+      return [n, d](Rng& rng) { return configuration_model(n, d, rng); };
+    case GraphFamily::kGnp: {
+      const double p =
+          std::min(1.0, static_cast<double>(d) / static_cast<double>(n - 1));
+      return [n, p](Rng& rng) { return gnp(n, p, rng); };
+    }
+    case GraphFamily::kHypercube: {
+      const NodeId dim = cell.d;  // normalised by expand_cells
+      return [dim](Rng&) { return hypercube(static_cast<int>(dim)); };
+    }
+    case GraphFamily::kComplete:
+      return [n](Rng&) { return complete(n); };
+  }
+  throw std::runtime_error("unknown graph family");
+}
+
+/// Axis echo shared by every record, so each JSONL line is self-describing
+/// and the CSV carries the full grid coordinates.
+void set_axis_fields(JsonObject& record, const CampaignSpec& spec,
+                     const CampaignCell& cell) {
+  record.set("key", cell.key)
+      .set("scheme", scheme_name(cell.scheme))
+      .set("quasirandom", cell.quasirandom)
+      .set("graph", graph_family_name(cell.graph))
+      .set("n", static_cast<std::uint64_t>(cell.n))
+      .set("d", static_cast<std::uint64_t>(cell.d))
+      .set("alpha", cell.alpha)
+      .set("failure", cell.failure)
+      .set("churn", cell.churn)
+      .set("overlay", cell.overlay)
+      .set("trials", spec.trials)
+      .set("cell_seed", to_hex(cell.seed));
+}
+
+/// Static-graph cell: the same run_trials path the bench harness has
+/// always used — graph regenerated per trial, protocol from the canonical
+/// scheme pairing, trials reduced in trial order.
+void run_static_cell(const CampaignSpec& spec, const CampaignCell& cell,
+                     const RunnerConfig& trial_runner, JsonObject& record) {
+  const BroadcastOptions options = options_for(spec, cell);
+
+  TrialConfig config;
+  config.trials = spec.trials;
+  config.seed = cell.seed;
+  config.channel = with_scheme(
+      shape_for(cell), options,
+      [](auto, const ChannelConfig& channel) { return channel; });
+  config.limits.max_rounds = spec.max_rounds;
+  config.random_source = spec.random_source;
+  config.runner = trial_runner;
+
+  const TrialOutcome out = run_trials(
+      graph_factory_for(cell),
+      [options](const Graph& graph) {
+        return make_scheme(graph, options).protocol;
+      },
+      config);
+
+  record.set("rounds_mean", out.rounds.mean)
+      .set("rounds_min", out.rounds.min)
+      .set("rounds_max", out.rounds.max)
+      .set("completion_mean", out.completion_round.mean)
+      .set("completion_rate", out.completion_rate)
+      .set("tx_per_node_mean", out.tx_per_node.mean)
+      .set("tx_per_node_max", out.tx_per_node.max)
+      .set("total_tx_mean", out.total_tx.mean)
+      .set("push_tx_mean", out.push_tx.mean)
+      .set("pull_tx_mean", out.pull_tx.mean);
+}
+
+/// Churn cell: the broadcast runs on a DynamicOverlay while a ChurnDriver
+/// joins/leaves/switches between rounds (the E13 setting, generalised to
+/// every scheme). Per-trial measurements land in trial-indexed slots and
+/// are reduced in trial order, so the record honours the determinism
+/// contract for any RunnerConfig.
+void run_churn_cell(const CampaignSpec& spec, const CampaignCell& cell,
+                    const RunnerConfig& trial_runner, JsonObject& record) {
+  struct Measurement {
+    double rounds = 0.0;
+    double coverage = 0.0;
+    double joins = 0.0;
+    double leaves = 0.0;
+    double alive = 0.0;
+    double tx_per_alive = 0.0;
+    bool all_informed = false;
+  };
+  std::vector<Measurement> slots(static_cast<std::size_t>(spec.trials));
+
+  const BroadcastOptions options = options_for(spec, cell);
+  const SchemeShape shape = shape_for(cell);
+  const NodeId capacity =
+      cell.n + static_cast<NodeId>(std::ceil(
+                   static_cast<double>(cell.n) * spec.churn_headroom));
+
+  ParallelRunner runner(trial_runner);
+  runner.for_each_trial(spec.trials, [&](int trial) {
+    Rng rng = Rng(cell.seed).fork(static_cast<std::uint64_t>(trial));
+    DynamicOverlay overlay(capacity, cell.n, cell.d, rng);
+    ChurnConfig churn;
+    churn.joins_per_round = cell.churn;
+    churn.leaves_per_round = cell.churn;
+    churn.switches_per_round = spec.churn_switches;
+    ChurnDriver driver(overlay, churn, rng);
+
+    const RunResult result = with_scheme(
+        shape, options, [&](auto proto, const ChannelConfig& channel) {
+          PhoneCallEngine<DynamicOverlay> engine(overlay, channel, rng);
+          attach_churn(engine, driver);
+          RunLimits limits;
+          limits.max_rounds = spec.max_rounds;
+          const NodeId source =
+              spec.random_source ? overlay.random_alive(rng) : 0;
+          return engine.run(proto, source, limits);
+        });
+
+    Measurement& m = slots[static_cast<std::size_t>(trial)];
+    const auto alive = static_cast<double>(result.alive_at_end);
+    m.rounds = static_cast<double>(result.rounds);
+    m.coverage =
+        alive > 0.0 ? static_cast<double>(result.final_informed) / alive : 0.0;
+    m.joins = static_cast<double>(driver.total_joins());
+    m.leaves = static_cast<double>(driver.total_leaves());
+    m.alive = alive;
+    m.tx_per_alive =
+        alive > 0.0 ? static_cast<double>(result.total_tx()) / alive : 0.0;
+    m.all_informed = result.all_informed;
+  });
+
+  SummaryAccumulator rounds, coverage, joins, leaves, alive, tx;
+  int completed = 0;
+  for (const Measurement& m : slots) {
+    rounds.add(m.rounds);
+    coverage.add(m.coverage);
+    joins.add(m.joins);
+    leaves.add(m.leaves);
+    alive.add(m.alive);
+    tx.add(m.tx_per_alive);
+    if (m.all_informed) ++completed;
+  }
+  const Summary coverage_summary = coverage.finish();
+  record.set("rounds_mean", rounds.finish().mean)
+      .set("coverage_mean", coverage_summary.mean)
+      .set("coverage_min", coverage_summary.min)
+      .set("completion_rate", static_cast<double>(completed) /
+                                  static_cast<double>(spec.trials))
+      .set("joins_mean", joins.finish().mean)
+      .set("leaves_mean", leaves.finish().mean)
+      .set("alive_mean", alive.finish().mean)
+      .set("tx_per_alive_mean", tx.finish().mean);
+}
+
+}  // namespace
+
+JsonObject CampaignRunner::run_cell(const CampaignSpec& spec,
+                                    const CampaignCell& cell,
+                                    const RunnerConfig& trial_runner) {
+  JsonObject record;
+  set_axis_fields(record, spec, cell);
+  if (cell.overlay)
+    run_churn_cell(spec, cell, trial_runner, record);
+  else
+    run_static_cell(spec, cell, trial_runner, record);
+  return record;
+}
+
+CampaignRunner::CampaignRunner(CampaignSpec spec, CampaignConfig config)
+    : spec_(std::move(spec)), config_(std::move(config)) {
+  if (config_.shard_count < 1)
+    throw std::runtime_error("shard count must be >= 1");
+  if (config_.shard_index < 0 || config_.shard_index >= config_.shard_count)
+    throw std::runtime_error("shard index out of range");
+  cells_ = expand_cells(spec_);
+}
+
+CampaignOutcome CampaignRunner::run(const CellProgress& progress) {
+  namespace fs = std::filesystem;
+
+  CampaignOutcome outcome;
+  outcome.total_cells = cells_.size();
+
+  std::vector<const CampaignCell*> mine;
+  for (const CampaignCell& cell : cells_)
+    if (static_cast<int>(cell.index % static_cast<std::size_t>(
+                             config_.shard_count)) == config_.shard_index)
+      mine.push_back(&cell);
+
+  const bool persist = !config_.out_dir.empty();
+  const std::string fingerprint = to_hex(spec_fingerprint(spec_));
+
+  // ---- Load the journal: completed cells from earlier (possibly
+  // interrupted, possibly sharded) runs of this same spec.
+  std::map<std::string, JsonObject> journal;
+  std::ofstream journal_out;
+  if (persist) {
+    fs::create_directories(config_.out_dir);
+    outcome.manifest_path = config_.out_dir + "/manifest.jsonl";
+    bool saw_header = false;
+    std::ifstream in(outcome.manifest_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      auto parsed = parse_flat_json(line);
+      if (!parsed) continue;  // damaged line: the cell just re-runs
+      if (const auto fp = parsed->find_plain("fingerprint")) {
+        if (*fp != fingerprint)
+          throw std::runtime_error(
+              outcome.manifest_path +
+              " was written by a different campaign spec (fingerprint " +
+              std::string(*fp) + ", this spec is " + fingerprint +
+              ") — refusing to resume into it");
+        saw_header = true;
+        continue;
+      }
+      if (const auto key = parsed->find_plain("key"))
+        journal.insert_or_assign(std::string(*key), std::move(*parsed));
+    }
+    in.close();
+    // Records without any fingerprint header cannot be attributed to a
+    // spec — reusing them could silently mix incompatible results (e.g. a
+    // different trial count, which the cell key does not encode).
+    if (!saw_header && !journal.empty())
+      throw std::runtime_error(
+          outcome.manifest_path +
+          " holds cell records but no campaign header line — cannot "
+          "verify they belong to this spec; restore the header or delete "
+          "the manifest to recompute");
+    journal_out.open(outcome.manifest_path, std::ios::app);
+    if (!journal_out)
+      throw std::runtime_error("cannot write " + outcome.manifest_path);
+    if (!saw_header) {
+      JsonObject header;
+      header.set("campaign", spec_.name)
+          .set("fingerprint", fingerprint)
+          .set("cells", static_cast<std::uint64_t>(cells_.size()));
+      journal_out << header.to_line() << "\n" << std::flush;
+    }
+  }
+
+  // ---- Fill slots: reuse journal records, collect the cells still to run.
+  outcome.cells.resize(mine.size());
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    CellResult& slot = outcome.cells[i];
+    slot.cell = *mine[i];
+    const auto found = journal.find(mine[i]->key);
+    if (found != journal.end()) {
+      slot.record = found->second;
+      slot.reused = true;
+    } else {
+      missing.push_back(i);
+    }
+  }
+
+  // Stream one journal line per freshly completed cell; flushed before the
+  // progress callback runs, so however the run dies afterwards the cell is
+  // already resumable.
+  auto complete = [&](std::size_t i) {
+    if (persist && !outcome.cells[i].reused)
+      journal_out << outcome.cells[i].record.to_line() << "\n" << std::flush;
+    if (progress) progress(outcome.cells[i]);
+  };
+
+  if (!config_.parallel_cells) {
+    // Cells in cell order; each cell's trials fan out on the pool.
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      if (!outcome.cells[i].reused)
+        outcome.cells[i].record = run_cell(spec_, *mine[i], config_.runner);
+      complete(i);
+    }
+  } else {
+    // Cells fan out on the pool; each cell's trials run sequentially.
+    // Identical output either way — records are pure in (spec, cell) and
+    // the slots below are reduced in cell order.
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      if (outcome.cells[i].reused) complete(i);
+    RunnerConfig inner;
+    inner.threads = 1;
+    std::mutex mutex;
+    ParallelRunner pool(config_.runner);
+    pool.for_each_trial(static_cast<int>(missing.size()), [&](int j) {
+      const std::size_t i = missing[static_cast<std::size_t>(j)];
+      JsonObject record = run_cell(spec_, *mine[i], inner);
+      const std::lock_guard<std::mutex> lock(mutex);
+      outcome.cells[i].record = std::move(record);
+      complete(i);
+    });
+  }
+  outcome.computed = missing.size();
+  outcome.reused = mine.size() - missing.size();
+
+  // ---- Final artifacts, rewritten in cell order. Byte-identical for any
+  // thread count, shard replay, or interrupt/resume history. The stream
+  // covers every cell of the grid with a record available — this shard's
+  // slots plus other shards' journal lines — so a sharded re-run over a
+  // directory that already holds the full campaign never truncates the
+  // results to its own subset; cells no shard has produced yet are simply
+  // absent until a run computes them.
+  if (persist) {
+    journal_out.close();
+
+    std::vector<const JsonObject*> final_records;
+    final_records.reserve(cells_.size());
+    {
+      std::size_t slot = 0;
+      for (const CampaignCell& cell : cells_) {
+        if (slot < outcome.cells.size() &&
+            outcome.cells[slot].cell.index == cell.index) {
+          final_records.push_back(&outcome.cells[slot].record);
+          ++slot;
+        } else if (const auto found = journal.find(cell.key);
+                   found != journal.end()) {
+          final_records.push_back(&found->second);
+        }
+      }
+    }
+
+    outcome.results_json_path = config_.out_dir + "/results.jsonl";
+    std::ofstream json_out(outcome.results_json_path);
+    if (!json_out)
+      throw std::runtime_error("cannot write " + outcome.results_json_path);
+    for (const JsonObject* record : final_records)
+      json_out << record->to_line() << "\n";
+    json_out.close();
+
+    std::vector<std::string> columns;
+    for (const JsonObject* record : final_records)
+      for (const JsonObject::Field& field : record->fields()) {
+        bool seen = false;
+        for (const std::string& column : columns)
+          if (column == field.key) {
+            seen = true;
+            break;
+          }
+        if (!seen) columns.push_back(field.key);
+      }
+    outcome.results_csv_path = config_.out_dir + "/results.csv";
+    std::ofstream csv_out(outcome.results_csv_path);
+    if (!csv_out)
+      throw std::runtime_error("cannot write " + outcome.results_csv_path);
+    const CsvWriter csv(columns);
+    csv.write_header(csv_out);
+    for (const JsonObject* record : final_records)
+      csv.write_row(csv_out, *record);
+    csv_out.close();
+
+    JsonObject meta;
+    // Identity only — no shard split, timings or completion counts — so
+    // the file is byte-identical however the campaign was executed.
+    meta.set("campaign", spec_.name)
+        .set("seed", to_hex(spec_.seed))
+        .set("fingerprint", fingerprint)
+        .set("cells", static_cast<std::uint64_t>(cells_.size()))
+        .set("spec", describe(spec_));
+    outcome.meta_path = config_.out_dir + "/campaign.json";
+    std::ofstream meta_out(outcome.meta_path);
+    if (!meta_out)
+      throw std::runtime_error("cannot write " + outcome.meta_path);
+    meta.write(meta_out, 0);
+    meta_out << "\n";
+  }
+
+  return outcome;
+}
+
+}  // namespace rrb::exp

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "rrb/common/check.hpp"
@@ -55,6 +56,14 @@ class Xoshiro256StarStar {
 /// "trial i's stream depends only on (seed, i)".
 [[nodiscard]] std::uint64_t derive_seed(std::uint64_t base,
                                         std::uint64_t stream);
+
+/// Stable 64-bit hash of a byte string: FNV-1a folded through a splitmix64
+/// finalising mix. Deterministic and platform-independent, so a *named*
+/// sub-stream can be derived as `derive_seed(base, hash_string(name))` —
+/// the experiment-campaign subsystem keys every cell's randomness on
+/// (campaign_seed, cell_key) this way. Golden-pinned in tests/test_rng.cpp;
+/// changing it invalidates every recorded campaign.
+[[nodiscard]] std::uint64_t hash_string(std::string_view text);
 
 /// High-level random source. One instance per simulation trial.
 class Rng {

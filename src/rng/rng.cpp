@@ -132,6 +132,18 @@ Rng Rng::split() {
   return Rng(seed);
 }
 
+std::uint64_t hash_string(std::string_view text) {
+  // FNV-1a over the bytes, then one splitmix64 round keyed on the length so
+  // that short strings still diffuse into all 64 bits and "" != hash(0).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t s = h + 0x9e3779b97f4a7c15ULL * (text.size() + 1);
+  return splitmix64_next(s);
+}
+
 std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
   std::uint64_t s = base ^ (0x9e3779b97f4a7c15ULL + stream);
   std::uint64_t a = splitmix64_next(s);

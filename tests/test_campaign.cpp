@@ -1,0 +1,517 @@
+#include "rrb/exp/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "rrb/exp/spec.hpp"
+#include "rrb/graph/generators.hpp"
+#include "rrb/rng/rng.hpp"
+#include "rrb/sim/trial.hpp"
+
+/// Campaign subsystem tests: spec parsing/expansion, the cell-key/seed
+/// contract (golden-pinned like tests/test_rng.cpp), and the artifact
+/// determinism guarantees — byte-identical files for every thread count,
+/// across interrupt-and-resume, and across shard splits.
+
+namespace rrb::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The tiny grid most tests run: 2 schemes x 1 n x 1 d x 2 churn = 4 cells
+/// (two static, two on the churn overlay), 3 trials each.
+CampaignSpec tiny_spec() {
+  CampaignSpec spec;
+  spec.name = "tiny";
+  spec.seed = 0x7e57;
+  spec.trials = 3;
+  spec.schemes = {BroadcastScheme::kPush, BroadcastScheme::kFourChoice};
+  spec.n_values = {64};
+  spec.d_values = {6};
+  spec.churn_rates = {0.0, 2.0};
+  return spec;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+std::vector<std::string> sorted_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(line);
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+/// Fresh artifact directory under the gtest temp root.
+std::string temp_dir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "rrb_campaign_" + tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// ---- Spec parsing ----------------------------------------------------------
+
+TEST(CampaignSpecParse, ParsesKeysListsCommentsAndShorthands) {
+  std::istringstream in(
+      "# a comment\n"
+      "name = demo   # trailing comment\n"
+      "seed = 0xbeef\n"
+      "trials = 7\n"
+      "source = fixed\n"
+      "graph = gnp\n"
+      "scheme = push, median, four-choice/sequentialised\n"
+      "n = 2^10, 2048\n"
+      "d = 8\n"
+      "\n"
+      "alpha = 1.5, 2\n"
+      "failure = 0.0, 0.1\n"
+      "churn = 0\n");
+  const CampaignSpec spec = parse_spec(in);
+  EXPECT_EQ(spec.name, "demo");
+  EXPECT_EQ(spec.seed, 0xbeefU);
+  EXPECT_EQ(spec.trials, 7);
+  EXPECT_FALSE(spec.random_source);
+  EXPECT_EQ(spec.graph, GraphFamily::kGnp);
+  ASSERT_EQ(spec.schemes.size(), 3U);
+  EXPECT_EQ(spec.schemes[0], BroadcastScheme::kPush);
+  EXPECT_EQ(spec.schemes[1], BroadcastScheme::kMedianCounter);  // alias
+  EXPECT_EQ(spec.schemes[2], BroadcastScheme::kSequentialised);
+  EXPECT_EQ(spec.n_values, (std::vector<NodeId>{1024, 2048}));
+  EXPECT_EQ(spec.alphas, (std::vector<double>{1.5, 2.0}));
+  EXPECT_EQ(spec.failures, (std::vector<double>{0.0, 0.1}));
+}
+
+TEST(CampaignSpecParse, RejectsBadInputWithLineNumbers) {
+  auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return parse_spec(in);
+  };
+  EXPECT_THROW((void)parse("bogus_key = 1\n"), std::runtime_error);
+  EXPECT_THROW((void)parse("scheme = warp-speed\n"), std::runtime_error);
+  EXPECT_THROW((void)parse("n = 1\n"), std::runtime_error);   // n >= 2
+  EXPECT_THROW((void)parse("trials = 0\n"), std::runtime_error);
+  EXPECT_THROW((void)parse("no equals sign\n"), std::runtime_error);
+  EXPECT_THROW((void)parse("n = 2^70\n"), std::runtime_error);
+  try {
+    (void)parse("trials = 3\nbad = 1\n");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CampaignSpecParse, ParseSchemeCoversTheWholeTable) {
+  for (const BroadcastScheme scheme : kAllSchemes)
+    EXPECT_EQ(parse_scheme(scheme_name(scheme)), scheme);
+  EXPECT_FALSE(parse_scheme("warp-speed").has_value());
+}
+
+// ---- Expansion, keys, seeds ------------------------------------------------
+
+TEST(CampaignExpand, OrderIsSchemeMajorThenAxes) {
+  const CampaignSpec spec = tiny_spec();
+  const auto cells = expand_cells(spec);
+  ASSERT_EQ(cells.size(), 4U);
+  EXPECT_EQ(cells[0].scheme, BroadcastScheme::kPush);
+  EXPECT_EQ(cells[0].churn, 0.0);
+  EXPECT_EQ(cells[1].scheme, BroadcastScheme::kPush);
+  EXPECT_EQ(cells[1].churn, 2.0);
+  EXPECT_EQ(cells[2].scheme, BroadcastScheme::kFourChoice);
+  EXPECT_EQ(cells[3].scheme, BroadcastScheme::kFourChoice);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+    EXPECT_EQ(cells[i].overlay, cells[i].churn > 0.0);
+  }
+}
+
+TEST(CampaignExpand, CellKeysAreCanonicalGoldenStrings) {
+  CampaignSpec spec;
+  spec.seed = 0x5110ce;
+  spec.schemes = {BroadcastScheme::kPush};
+  spec.n_values = {256};
+  spec.d_values = {8};
+  const auto cells = expand_cells(spec);
+  ASSERT_EQ(cells.size(), 1U);
+  EXPECT_EQ(cells[0].key,
+            "scheme=push;qr=0;graph=regular;n=256;d=8;alpha=1.5;"
+            "failure=0;churn=0");
+
+  CampaignSpec overlay_spec;
+  overlay_spec.seed = 0xed;
+  overlay_spec.overlay = true;
+  overlay_spec.churn_rates = {0.0, 4.0};
+  const auto overlay_cells = expand_cells(overlay_spec);
+  ASSERT_EQ(overlay_cells.size(), 2U);
+  EXPECT_EQ(overlay_cells[0].key,
+            "scheme=four-choice;qr=0;graph=regular;n=1024;d=8;alpha=1.5;"
+            "failure=0;churn=0;overlay=1;switches=2;headroom=0.5");
+  EXPECT_EQ(overlay_cells[1].key,
+            "scheme=four-choice;qr=0;graph=regular;n=1024;d=8;alpha=1.5;"
+            "failure=0;churn=4;overlay=1;switches=2;headroom=0.5");
+}
+
+// Golden cell seeds, pinned the way tests/test_rng.cpp pins derive_seed:
+// recorded campaigns depend on these values never changing.
+TEST(CampaignExpand, CellSeedsAreGoldenPinned) {
+  EXPECT_EQ(cell_seed(0x5110ce,
+                      "scheme=push;qr=0;graph=regular;n=256;d=8;alpha=1.5;"
+                      "failure=0;churn=0"),
+            0xfd5e63c200d95515ULL);
+  EXPECT_EQ(cell_seed(1, "a"), 0x9d8ad65aa99afc63ULL);
+
+  CampaignSpec overlay_spec;
+  overlay_spec.seed = 0xed;
+  overlay_spec.overlay = true;
+  overlay_spec.churn_rates = {0.0, 4.0};
+  const auto cells = expand_cells(overlay_spec);
+  ASSERT_EQ(cells.size(), 2U);
+  EXPECT_EQ(cells[0].seed, 0x9af00df3521e90f1ULL);
+  EXPECT_EQ(cells[1].seed, 0xd4b6e5d6737db493ULL);
+}
+
+TEST(CampaignExpand, SeedDependsOnlyOnCampaignSeedAndKey) {
+  // Growing the grid around a cell must not move its seed.
+  CampaignSpec small = tiny_spec();
+  CampaignSpec big = tiny_spec();
+  big.n_values = {64, 128};
+  big.schemes.push_back(BroadcastScheme::kPull);
+  const auto small_cells = expand_cells(small);
+  const auto big_cells = expand_cells(big);
+  for (const CampaignCell& cell : small_cells) {
+    bool found = false;
+    for (const CampaignCell& other : big_cells)
+      if (other.key == cell.key) {
+        EXPECT_EQ(other.seed, cell.seed);
+        found = true;
+      }
+    EXPECT_TRUE(found) << cell.key;
+  }
+}
+
+TEST(CampaignExpand, RejectsInvalidCombinations) {
+  CampaignSpec churn_on_gnp = tiny_spec();
+  churn_on_gnp.graph = GraphFamily::kGnp;
+  EXPECT_THROW((void)expand_cells(churn_on_gnp), std::runtime_error);
+
+  CampaignSpec odd_hypercube;
+  odd_hypercube.graph = GraphFamily::kHypercube;
+  odd_hypercube.n_values = {24};
+  EXPECT_THROW((void)expand_cells(odd_hypercube), std::runtime_error);
+
+  CampaignSpec no_axis = tiny_spec();
+  no_axis.schemes.clear();
+  EXPECT_THROW((void)expand_cells(no_axis), std::runtime_error);
+
+  // NaN axis values must fail validation, not run as a bogus grid point.
+  CampaignSpec nan_failure = tiny_spec();
+  nan_failure.failures = {std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW((void)expand_cells(nan_failure), std::runtime_error);
+  CampaignSpec nan_churn = tiny_spec();
+  nan_churn.churn_rates = {std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW((void)expand_cells(nan_churn), std::runtime_error);
+
+  // Quasirandom crossed with the sequentialised scheme's memory window is
+  // rejected at expansion, not mid-campaign at engine construction.
+  CampaignSpec qr_seq = tiny_spec();
+  qr_seq.schemes = {BroadcastScheme::kSequentialised};
+  qr_seq.quasirandom = {false, true};
+  EXPECT_THROW((void)expand_cells(qr_seq), std::runtime_error);
+}
+
+TEST(CampaignExpand, FamiliesThatDeriveDegreeNormaliseTheDAxis) {
+  // hypercube/complete ignore d: a multi-valued d axis would duplicate
+  // identical experiments under different seeds, so it is rejected, and
+  // the single allowed value is normalised to the derived degree so cell
+  // keys are honest about the topology.
+  CampaignSpec spec;
+  spec.graph = GraphFamily::kHypercube;
+  spec.n_values = {256};
+  spec.d_values = {8, 12};
+  EXPECT_THROW((void)expand_cells(spec), std::runtime_error);
+
+  spec.d_values = {3};
+  const auto cells = expand_cells(spec);
+  ASSERT_EQ(cells.size(), 1U);
+  EXPECT_EQ(cells[0].d, 8U);  // dim of the 256-node hypercube
+
+  CampaignSpec complete_spec;
+  complete_spec.graph = GraphFamily::kComplete;
+  complete_spec.n_values = {32};
+  const auto complete_cells = expand_cells(complete_spec);
+  ASSERT_EQ(complete_cells.size(), 1U);
+  EXPECT_EQ(complete_cells[0].d, 31U);
+}
+
+// ---- run_cell: the execution paths are the library's own -------------------
+
+TEST(CampaignRunCell, StaticCellMatchesDirectRunTrials) {
+  const CampaignSpec spec = tiny_spec();
+  const auto cells = expand_cells(spec);
+  const CampaignCell& cell = cells[0];  // push, churn 0
+  const JsonObject record = CampaignRunner::run_cell(spec, cell, {});
+
+  BroadcastOptions options;
+  options.scheme = BroadcastScheme::kPush;
+  options.n_estimate = cell.n;
+  TrialConfig config;
+  config.trials = spec.trials;
+  config.seed = cell.seed;
+  const TrialOutcome direct = run_trials(
+      [&cell](Rng& rng) {
+        return random_regular_simple(cell.n, cell.d, rng);
+      },
+      [&options](const Graph& graph) {
+        return make_scheme(graph, options).protocol;
+      },
+      config);
+
+  EXPECT_EQ(record.find_number("rounds_mean"), direct.rounds.mean);
+  EXPECT_EQ(record.find_number("completion_mean"),
+            direct.completion_round.mean);
+  EXPECT_EQ(record.find_number("completion_rate"), direct.completion_rate);
+  EXPECT_EQ(record.find_number("tx_per_node_mean"), direct.tx_per_node.mean);
+  EXPECT_EQ(record.find_number("push_tx_mean"), direct.push_tx.mean);
+}
+
+TEST(CampaignRunCell, RecordIsIdenticalForAnyTrialRunnerConfig) {
+  const CampaignSpec spec = tiny_spec();
+  const auto cells = expand_cells(spec);
+  for (const CampaignCell& cell : cells) {  // covers static + churn paths
+    RunnerConfig one;
+    one.threads = 1;
+    RunnerConfig eight;
+    eight.threads = 8;
+    RunnerConfig chunked;
+    chunked.threads = 2;
+    chunked.chunk = 2;
+    const std::string baseline =
+        CampaignRunner::run_cell(spec, cell, one).to_line();
+    EXPECT_EQ(CampaignRunner::run_cell(spec, cell, eight).to_line(), baseline)
+        << cell.key;
+    EXPECT_EQ(CampaignRunner::run_cell(spec, cell, chunked).to_line(),
+              baseline)
+        << cell.key;
+  }
+}
+
+// ---- Artifact determinism --------------------------------------------------
+
+struct ArtifactBytes {
+  std::string results_json;
+  std::string results_csv;
+  std::string meta;
+  std::string manifest;
+};
+
+ArtifactBytes run_to_dir(const CampaignSpec& spec, const std::string& dir,
+                         int threads, bool parallel_cells = false,
+                         const CellProgress& progress = {}) {
+  CampaignConfig config;
+  config.runner.threads = threads;
+  config.parallel_cells = parallel_cells;
+  config.out_dir = dir;
+  CampaignRunner runner(spec, config);
+  const CampaignOutcome outcome = runner.run(progress);
+  ArtifactBytes bytes;
+  bytes.results_json = read_file(outcome.results_json_path);
+  bytes.results_csv = read_file(outcome.results_csv_path);
+  bytes.meta = read_file(outcome.meta_path);
+  bytes.manifest = read_file(outcome.manifest_path);
+  return bytes;
+}
+
+TEST(CampaignDeterminism, ArtifactsAreByteIdenticalAcrossThreadCounts) {
+  const CampaignSpec spec = tiny_spec();
+  const ArtifactBytes t1 = run_to_dir(spec, temp_dir("t1"), 1);
+  const ArtifactBytes t2 = run_to_dir(spec, temp_dir("t2"), 2);
+  const ArtifactBytes t8 = run_to_dir(spec, temp_dir("t8"), 8);
+  const ArtifactBytes cells =
+      run_to_dir(spec, temp_dir("cells"), 4, /*parallel_cells=*/true);
+
+  EXPECT_EQ(t1.results_json, t2.results_json);
+  EXPECT_EQ(t1.results_json, t8.results_json);
+  EXPECT_EQ(t1.results_json, cells.results_json);
+  EXPECT_EQ(t1.results_csv, t2.results_csv);
+  EXPECT_EQ(t1.results_csv, cells.results_csv);
+  EXPECT_EQ(t1.meta, t2.meta);
+  EXPECT_EQ(t1.meta, cells.meta);
+  // The manifest's line *order* is completion order (scheduling-dependent
+  // under parallel_cells); its content is not.
+  EXPECT_EQ(t1.manifest, t2.manifest);
+  EXPECT_EQ(sorted_lines(t1.manifest), sorted_lines(cells.manifest));
+}
+
+TEST(CampaignDeterminism, InterruptedRunResumesBitIdentically) {
+  const CampaignSpec spec = tiny_spec();
+  const ArtifactBytes full = run_to_dir(spec, temp_dir("full"), 2);
+
+  // Simulate an interrupt: abort from the progress callback after two
+  // freshly computed cells (their journal lines are already flushed).
+  const std::string dir = temp_dir("interrupted");
+  int computed = 0;
+  EXPECT_THROW(
+      (void)run_to_dir(spec, dir, 2, false,
+                       [&computed](const CellResult& cell) {
+                         if (!cell.reused && ++computed == 2)
+                           throw std::runtime_error("simulated interrupt");
+                       }),
+      std::runtime_error);
+  ASSERT_TRUE(fs::exists(dir + "/manifest.jsonl"));
+  EXPECT_FALSE(fs::exists(dir + "/results.jsonl"));
+
+  // Resume: the two journaled cells are reused, the rest recomputed.
+  CampaignConfig config;
+  config.runner.threads = 2;
+  config.out_dir = dir;
+  CampaignRunner runner(spec, config);
+  const CampaignOutcome outcome = runner.run();
+  EXPECT_EQ(outcome.reused, 2U);
+  EXPECT_EQ(outcome.computed, 2U);
+  EXPECT_EQ(read_file(outcome.results_json_path), full.results_json);
+  EXPECT_EQ(read_file(outcome.results_csv_path), full.results_csv);
+  EXPECT_EQ(read_file(outcome.meta_path), full.meta);
+  EXPECT_EQ(read_file(outcome.manifest_path), full.manifest);
+}
+
+TEST(CampaignDeterminism, DeletingManifestLinesReproducesTheExactFiles) {
+  const CampaignSpec spec = tiny_spec();
+  const std::string dir = temp_dir("halved");
+  const ArtifactBytes full = run_to_dir(spec, dir, 2);
+
+  // Delete every other record line from the manifest (keep the header).
+  std::istringstream manifest(full.manifest);
+  std::ofstream rewrite(dir + "/manifest.jsonl", std::ios::trunc);
+  std::string line;
+  int record_index = 0;
+  while (std::getline(manifest, line)) {
+    const bool header = line.find("\"fingerprint\"") != std::string::npos;
+    if (header || record_index++ % 2 == 0) rewrite << line << "\n";
+  }
+  rewrite.close();
+
+  CampaignConfig config;
+  config.runner.threads = 2;
+  config.out_dir = dir;
+  const CampaignOutcome outcome = CampaignRunner(spec, config).run();
+  EXPECT_EQ(outcome.reused, 2U);
+  EXPECT_EQ(outcome.computed, 2U);
+  EXPECT_EQ(read_file(outcome.results_json_path), full.results_json);
+  EXPECT_EQ(read_file(outcome.results_csv_path), full.results_csv);
+  EXPECT_EQ(sorted_lines(read_file(outcome.manifest_path)),
+            sorted_lines(full.manifest));
+}
+
+TEST(CampaignDeterminism, ShardManifestsMergeWithoutRecomputation) {
+  const CampaignSpec spec = tiny_spec();
+  const ArtifactBytes full = run_to_dir(spec, temp_dir("unsharded"), 2);
+
+  std::string merged_manifest;
+  for (int shard = 0; shard < 2; ++shard) {
+    const std::string dir = temp_dir("shard" + std::to_string(shard));
+    CampaignConfig config;
+    config.runner.threads = 2;
+    config.shard_index = shard;
+    config.shard_count = 2;
+    config.out_dir = dir;
+    const CampaignOutcome outcome = CampaignRunner(spec, config).run();
+    EXPECT_EQ(outcome.cells.size(), 2U);
+    merged_manifest += read_file(outcome.manifest_path);
+  }
+
+  const std::string merged_dir = temp_dir("merged");
+  fs::create_directories(merged_dir);
+  std::ofstream(merged_dir + "/manifest.jsonl") << merged_manifest;
+  CampaignConfig config;
+  config.out_dir = merged_dir;
+  const CampaignOutcome outcome = CampaignRunner(spec, config).run();
+  EXPECT_EQ(outcome.computed, 0U);
+  EXPECT_EQ(outcome.reused, 4U);
+  EXPECT_EQ(read_file(outcome.results_json_path), full.results_json);
+  EXPECT_EQ(read_file(outcome.results_csv_path), full.results_csv);
+}
+
+TEST(CampaignDeterminism, ShardRunOverFullDirectoryKeepsAllResults) {
+  // Re-running a single shard in a directory that already holds the whole
+  // campaign must not truncate the final artifacts to the shard subset:
+  // the rewrite covers every cell with a journal record available.
+  const CampaignSpec spec = tiny_spec();
+  const std::string dir = temp_dir("shard_over_full");
+  const ArtifactBytes full = run_to_dir(spec, dir, 2);
+
+  CampaignConfig config;
+  config.shard_index = 0;
+  config.shard_count = 2;
+  config.out_dir = dir;
+  const CampaignOutcome outcome = CampaignRunner(spec, config).run();
+  EXPECT_EQ(outcome.cells.size(), 2U);
+  EXPECT_EQ(outcome.computed, 0U);
+  EXPECT_EQ(read_file(outcome.results_json_path), full.results_json);
+  EXPECT_EQ(read_file(outcome.results_csv_path), full.results_csv);
+  EXPECT_EQ(read_file(outcome.meta_path), full.meta);
+}
+
+TEST(CampaignDeterminism, RefusesToResumeAcrossSpecChanges) {
+  const CampaignSpec spec = tiny_spec();
+  const std::string dir = temp_dir("fingerprint");
+  (void)run_to_dir(spec, dir, 1);
+
+  CampaignSpec changed = spec;
+  changed.trials = 4;  // trials change the records, so resume must refuse
+  CampaignConfig config;
+  config.out_dir = dir;
+  EXPECT_THROW((void)CampaignRunner(changed, config).run(),
+               std::runtime_error);
+}
+
+TEST(CampaignDeterminism, RefusesHeaderlessManifestWithRecords) {
+  // Records that cannot be attributed to a spec (no fingerprint header)
+  // must not be reused — a header-stripped manifest could belong to a
+  // spec whose differences (e.g. trials) the cell key does not encode.
+  const CampaignSpec spec = tiny_spec();
+  const std::string dir = temp_dir("headerless");
+  const ArtifactBytes full = run_to_dir(spec, dir, 1);
+
+  std::istringstream manifest(full.manifest);
+  std::ofstream rewrite(dir + "/manifest.jsonl", std::ios::trunc);
+  std::string line;
+  while (std::getline(manifest, line))
+    if (line.find("\"fingerprint\"") == std::string::npos)
+      rewrite << line << "\n";
+  rewrite.close();
+
+  CampaignConfig config;
+  config.out_dir = dir;
+  EXPECT_THROW((void)CampaignRunner(spec, config).run(),
+               std::runtime_error);
+}
+
+TEST(CampaignDeterminism, InMemoryRunMatchesPersistedRecords) {
+  const CampaignSpec spec = tiny_spec();
+  const ArtifactBytes persisted = run_to_dir(spec, temp_dir("disk"), 2);
+
+  CampaignRunner runner(spec, {});  // out_dir empty: no files touched
+  const CampaignOutcome outcome = runner.run();
+  EXPECT_TRUE(outcome.manifest_path.empty());
+  std::string lines;
+  for (const CellResult& cell : outcome.cells)
+    lines += cell.record.to_line() + "\n";
+  EXPECT_EQ(lines, persisted.results_json);
+}
+
+}  // namespace
+}  // namespace rrb::exp

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "rrb/core/scheme_dispatch.hpp"
 #include "rrb/graph/generators.hpp"
 #include "rrb/protocols/baselines.hpp"
 
@@ -113,6 +114,51 @@ TEST(CoreBroadcast, SchemeNamesAreStable) {
   EXPECT_STREQ(scheme_name(BroadcastScheme::kFourChoice), "four-choice");
   EXPECT_STREQ(scheme_name(BroadcastScheme::kMedianCounter),
                "median-counter");
+}
+
+TEST(CoreBroadcast, ParseSchemeRoundTripsEveryCanonicalName) {
+  // kAllSchemes is the single source of truth for "all schemes": it must
+  // cover the enum and round-trip through scheme_name/parse_scheme.
+  EXPECT_EQ(kAllSchemes.size(), 8U);
+  for (const BroadcastScheme scheme : kAllSchemes)
+    EXPECT_EQ(parse_scheme(scheme_name(scheme)), scheme);
+}
+
+TEST(CoreBroadcast, ParseSchemeAcceptsAliasesAndRejectsUnknown) {
+  EXPECT_EQ(parse_scheme("median"), BroadcastScheme::kMedianCounter);
+  EXPECT_EQ(parse_scheme("seq"), BroadcastScheme::kSequentialised);
+  EXPECT_EQ(parse_scheme("fixed-horizon"),
+            BroadcastScheme::kFixedHorizonPush);
+  EXPECT_EQ(parse_scheme("throttled"), BroadcastScheme::kThrottledPushPull);
+  EXPECT_FALSE(parse_scheme("warp-speed").has_value());
+  EXPECT_FALSE(parse_scheme("").has_value());
+}
+
+TEST(CoreBroadcast, SchemeShapeDispatchMatchesGraphDispatch) {
+  // The SchemeShape overload of with_scheme must pair the same channel the
+  // Graph overload derives (harnesses without a Graph — the churn overlay,
+  // simulate_cli's flag path — rely on it).
+  const Graph g = regular_graph_for(64, 6, 21);
+  SchemeShape shape;
+  shape.n = g.num_nodes();
+  shape.degree = 6;
+  shape.mean_degree = 6.0;
+  for (const BroadcastScheme scheme : kAllSchemes) {
+    BroadcastOptions options;
+    options.scheme = scheme;
+    options.failure_prob = 0.125;
+    const ChannelConfig from_graph = make_scheme(g, options).channel;
+    const ChannelConfig from_shape = with_scheme(
+        shape, options,
+        [](auto, const ChannelConfig& channel) { return channel; });
+    EXPECT_EQ(from_shape.num_choices, from_graph.num_choices)
+        << scheme_name(scheme);
+    EXPECT_EQ(from_shape.memory, from_graph.memory) << scheme_name(scheme);
+    EXPECT_EQ(from_shape.quasirandom, from_graph.quasirandom)
+        << scheme_name(scheme);
+    EXPECT_EQ(from_shape.failure_prob, from_graph.failure_prob)
+        << scheme_name(scheme);
+  }
 }
 
 TEST(CoreBroadcast, SchemeNameRejectsUnknownEnum) {

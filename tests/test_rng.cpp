@@ -294,6 +294,30 @@ TEST(RngFork, GoldenValuesAreStableAcrossPlatforms) {
   EXPECT_EQ(f7.next_u64(), 0xcd5ff77b0e235647ULL);
 }
 
+TEST(RngFork, HashStringGoldenValuesAreStableAcrossPlatforms) {
+  // Pinned outputs of the string hash behind named sub-streams: the
+  // campaign subsystem keys every cell's randomness on
+  // derive_seed(campaign_seed, hash_string(cell_key)), so these values are
+  // part of the seeding contract — a silent change would re-seed every
+  // recorded campaign (cell seeds themselves are pinned in
+  // tests/test_campaign.cpp).
+  EXPECT_EQ(hash_string(""), 0x100cdaacc0bc9316ULL);
+  EXPECT_EQ(hash_string("rrb"), 0x26feeb5d965b9927ULL);
+  EXPECT_EQ(hash_string("cell"), 0x78a140d461eceb33ULL);
+  EXPECT_EQ(hash_string("scheme=push;qr=0;graph=regular;n=256;d=8;"
+                        "alpha=1.5;failure=0;churn=0"),
+            0xcbb35f52f5b19a4bULL);
+}
+
+TEST(RngFork, HashStringSeparatesSimilarStrings) {
+  const std::vector<std::string> keys = {
+      "", "a", "b", "ab", "ba", "aa", "a a", "a  a",
+      "scheme=push;n=256", "scheme=push;n=257", "scheme=pull;n=256"};
+  std::set<std::uint64_t> seen;
+  for (const std::string& key : keys) seen.insert(hash_string(key));
+  EXPECT_EQ(seen.size(), keys.size());
+}
+
 TEST(RngFork, StreamsArePairwiseNonOverlappingOnAMillionDraws) {
   // Forked streams must behave as independent: any value colliding across
   // two streams' first 1e6 draws would signal overlapping state
