@@ -2,6 +2,11 @@
 /// limited communication failures"): channels fail independently with
 /// probability f at establishment. The fixed-horizon algorithm tolerates
 /// moderate f; a larger alpha buys back reliability.
+///
+/// The i.i.d. failure grid is a thin driver over the campaign subsystem
+/// (bench/campaigns/e11_failures.campaign; the coverage column comes from
+/// the records' coverage_mean). The structured failure models below are
+/// not a campaign axis and stay composed directly against the engine.
 
 #include "bench_util.hpp"
 
@@ -15,44 +20,49 @@ int main() {
          "claim: limited failures cost coverage only marginally; "
          "alpha scales the safety margin");
 
-  const NodeId n = 1 << 14;
-  const NodeId d = 8;
+  const exp::CampaignSpec spec = exp::load_spec(campaign_path("e11_failures"));
+  const NodeId n = spec.n_values.front();
+  const NodeId d = spec.d_values.front();
+  exp::CampaignRunner runner(spec, {});
+  const exp::CampaignOutcome out = runner.run();
 
   Table table({"fail prob", "alpha", "ok", "coverage", "done@", "tx/node"});
-  table.set_title("Algorithm 1 under channel failures, n = 2^14, d = 8 "
-                  "(10 trials)");
-  for (const double alpha : {1.5, 2.0}) {
-    for (const double f : {0.0, 0.05, 0.1, 0.2, 0.3}) {
-      TrialConfig cfg;
-      cfg.trials = 10;
-      cfg.seed = 0xeb + static_cast<std::uint64_t>(f * 100) +
-                 static_cast<std::uint64_t>(alpha * 10) * 1000;
-      cfg.channel.num_choices = 4;
-      cfg.channel.failure_prob = f;
-      const TrialOutcome out = run_trials(
-          regular_graph(n, d), four_choice_protocol(n, alpha), cfg);
-      double coverage = 0.0;
-      for (const RunResult& r : out.runs)
-        coverage += static_cast<double>(r.final_informed) /
-                    static_cast<double>(r.n);
-      coverage /= static_cast<double>(out.runs.size());
+  table.set_title("Algorithm 1 under channel failures, n = " +
+                  std::to_string(n) + ", d = " + std::to_string(d) + " (" +
+                  std::to_string(spec.trials) + " trials)");
+  BenchReport json("e11_failures");
+  for (const double alpha : spec.alphas) {
+    for (const double f : spec.failures) {
+      const exp::JsonObject& record =
+          find_record(out.cells, [alpha, f](const exp::CampaignCell& cell) {
+            return cell.alpha == alpha && cell.failure == f;
+          });
       table.begin_row();
       table.add(f, 2);
       table.add(alpha, 1);
-      table.add(out.completion_rate, 2);
-      table.add(coverage, 6);
-      table.add(out.completion_round.mean, 1);
-      table.add(out.tx_per_node.mean, 2);
+      table.add(record_number(record, "completion_rate"), 2);
+      table.add(record_number(record, "coverage_mean"), 6);
+      table.add(record_number(record, "completion_mean"), 1);
+      table.add(record_number(record, "tx_per_node_mean"), 2);
+      json.row()
+          .set("failure", f)
+          .set("alpha", alpha)
+          .set("completion_rate", record_number(record, "completion_rate"))
+          .set("coverage_mean", record_number(record, "coverage_mean"))
+          .set("tx_per_node_mean",
+               record_number(record, "tx_per_node_mean"));
     }
   }
   std::cout << table << "\n";
+  json.write();
 
   // Structured failures: fail-stop nodes and periodic outages (see
   // failure_models.hpp). Coverage is reported over *healthy* nodes for the
   // faulty-node rows (fail-stop peers can never receive anything).
   Table structured({"model", "alpha", "healthy coverage", "done@"});
-  structured.set_title("structured failure models, n = 2^14, d = 8 "
-                       "(5 trials, alpha = 2)");
+  structured.set_title("structured failure models, n = " + std::to_string(n) +
+                       ", d = " + std::to_string(d) +
+                       " (5 trials, alpha = 2)");
   struct ModelRow {
     std::string name;
     double faulty_fraction;  // > 0 -> faulty-node model

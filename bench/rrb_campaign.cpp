@@ -8,6 +8,8 @@
 ///   <out>/results.jsonl    all cell records, in cell order
 ///   <out>/results.csv      the same records as CSV
 ///   <out>/campaign.json    spec echo + fingerprint
+///   <out>/timing.jsonl     wall-time side channel (never deterministic,
+///                          never merged or diffed)
 ///
 /// Results are byte-identical for every --threads value, and an
 /// interrupted run resumes from the manifest, recomputing only missing
@@ -18,15 +20,27 @@
 /// Usage:
 ///   rrb_campaign [--spec FILE] [--set key=value ...] [--out DIR|none]
 ///                [--threads W] [--chunk C] [--parallel-cells]
-///                [--shard I/K] [--list] [--quiet]
+///                [--shard I/K] [--merge DIR-OR-GLOB ...] [--list] [--quiet]
 ///
 /// Without --spec, settings start from the built-in defaults; --set
 /// overrides apply on top of the spec in the order given, e.g.
 ///   rrb_campaign --spec bench/campaigns/e1_smalld.campaign
 ///                --set "n = 2^10, 2^12" --set trials=3
+///
+/// --merge globs shard artifact directories, validates their manifests
+/// against this spec's fingerprint, concatenates their journal lines into
+/// --out, and then runs normally — the run reuses every merged cell and
+/// emits the full artifacts without recomputing anything:
+///   rrb_campaign --spec S --shard 0/2 --out shards/s0
+///   rrb_campaign --spec S --shard 1/2 --out shards/s1
+///   rrb_campaign --spec S --merge 'shards/s*' --out merged
 
+#include <algorithm>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -42,6 +56,7 @@ struct Options {
   std::string spec_path;
   std::vector<std::pair<std::string, std::string>> overrides;
   std::string out_dir;  // empty = derive from campaign name; "none" = memory
+  std::vector<std::string> merge_sources;  // dirs or globs of shard outputs
   rrb::exp::CampaignConfig config;
   bool list = false;
   bool quiet = false;
@@ -51,7 +66,8 @@ void usage() {
   std::cout <<
       "usage: rrb_campaign [--spec FILE] [--set key=value ...] [--out DIR]\n"
       "                    [--threads W] [--chunk C] [--parallel-cells]\n"
-      "                    [--shard I/K] [--list] [--quiet]\n"
+      "                    [--shard I/K] [--merge DIR-OR-GLOB ...] [--list]\n"
+      "                    [--quiet]\n"
       "\n"
       "  --spec FILE      campaign spec file (key = value lines; see\n"
       "                   bench/campaigns/*.campaign)\n"
@@ -65,8 +81,152 @@ void usage() {
       "  --parallel-cells fan cells (not trials) across the pool — faster\n"
       "                   for grids of many small cells, same output\n"
       "  --shard I/K      run only cells with index %% K == I\n"
+      "  --merge PAT      merge shard manifests into --out before running\n"
+      "                   (repeatable; PAT is a directory or a glob whose\n"
+      "                   last component may contain '*'). Manifests must\n"
+      "                   carry this spec's fingerprint; merged cells are\n"
+      "                   reused, not recomputed\n"
       "  --list           print the expanded cells and exit\n"
       "  --quiet          suppress per-cell progress lines\n";
+}
+
+namespace fs = std::filesystem;
+
+/// '*'-only wildcard match (no '?', no character classes — shard directory
+/// names do not need more).
+bool glob_match(std::string_view pattern, std::string_view text) {
+  if (pattern.empty()) return text.empty();
+  if (pattern.front() == '*') {
+    for (std::size_t i = 0; i <= text.size(); ++i)
+      if (glob_match(pattern.substr(1), text.substr(i))) return true;
+    return false;
+  }
+  return !text.empty() && pattern.front() == text.front() &&
+         glob_match(pattern.substr(1), text.substr(1));
+}
+
+/// Expand one --merge argument into shard directories. Only the last path
+/// component may be a glob; a plain directory expands to itself.
+std::vector<fs::path> expand_merge_pattern(const std::string& pattern) {
+  const fs::path as_path(pattern);
+  const std::string leaf = as_path.filename().string();
+  if (leaf.find('*') == std::string::npos) {
+    if (!fs::is_directory(as_path))
+      throw std::runtime_error("--merge: " + pattern + " is not a directory");
+    return {as_path};
+  }
+  const fs::path parent =
+      as_path.has_parent_path() ? as_path.parent_path() : fs::path(".");
+  if (!fs::is_directory(parent))
+    throw std::runtime_error("--merge: " + parent.string() +
+                             " is not a directory");
+  std::vector<fs::path> matches;
+  for (const fs::directory_entry& entry : fs::directory_iterator(parent))
+    if (entry.is_directory() &&
+        glob_match(leaf, entry.path().filename().string()))
+      matches.push_back(entry.path());
+  std::sort(matches.begin(), matches.end());
+  if (matches.empty())
+    throw std::runtime_error("--merge: " + pattern +
+                             " matched no directories");
+  return matches;
+}
+
+/// Concatenate shard manifests into <out>/manifest.jsonl via the campaign
+/// subsystem's own resume path: every source line whose header fingerprint
+/// matches `fingerprint` is appended verbatim (byte-preserving, so the
+/// subsequent run reuses the cells), other specs' manifests are refused.
+///
+/// Two-phase: every source (and the target, if it already has content) is
+/// validated fully in memory before a single byte is written, so a refused
+/// merge leaves the target directory exactly as it was — no empty or
+/// headerless manifest for a retry to trip over.
+std::size_t merge_manifests(const std::vector<std::string>& patterns,
+                            const std::string& out_dir,
+                            const std::string& fingerprint) {
+  std::vector<fs::path> sources;
+  for (const std::string& pattern : patterns)
+    for (fs::path& dir : expand_merge_pattern(pattern))
+      sources.push_back(std::move(dir));
+
+  // Phase 1a: read and validate the sources.
+  std::string header_line;
+  std::vector<std::string> record_lines;
+  for (const fs::path& dir : sources) {
+    const fs::path manifest = dir / "manifest.jsonl";
+    std::ifstream in(manifest);
+    if (!in)
+      throw std::runtime_error("--merge: " + dir.string() +
+                               " has no manifest.jsonl");
+    std::string line;
+    bool source_verified = false;
+    while (std::getline(in, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      const auto parsed = rrb::exp::parse_flat_json(line);
+      if (parsed) {
+        if (const auto fp = parsed->find_plain("fingerprint")) {
+          if (*fp != fingerprint)
+            throw std::runtime_error(
+                "--merge: " + manifest.string() +
+                " was written by a different campaign spec (fingerprint " +
+                std::string(*fp) + ", this spec is " + fingerprint + ")");
+          source_verified = true;
+          if (header_line.empty()) header_line = line;
+          continue;
+        }
+      }
+      if (!source_verified)
+        throw std::runtime_error(
+            "--merge: " + manifest.string() +
+            " has cell records before any fingerprint header — cannot "
+            "verify they belong to this spec");
+      record_lines.push_back(line);
+    }
+  }
+  if (header_line.empty())
+    throw std::runtime_error(
+        "--merge: no source manifest carried a campaign header");
+
+  // Phase 1b: if the target manifest already has content, it must carry a
+  // matching header of its own (an interrupted run of this spec is fine;
+  // anything else would poison the merge).
+  const fs::path out_manifest = fs::path(out_dir) / "manifest.jsonl";
+  bool target_has_header = false;
+  {
+    std::ifstream existing(out_manifest);
+    std::string line;
+    bool has_content = false;
+    while (existing && std::getline(existing, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      has_content = true;
+      const auto parsed = rrb::exp::parse_flat_json(line);
+      if (!parsed) continue;
+      if (const auto fp = parsed->find_plain("fingerprint")) {
+        if (*fp != fingerprint)
+          throw std::runtime_error(
+              "--merge: " + out_manifest.string() +
+              " already belongs to a different campaign spec (fingerprint " +
+              std::string(*fp) + ", this spec is " + fingerprint + ")");
+        target_has_header = true;
+        break;
+      }
+    }
+    if (has_content && !target_has_header)
+      throw std::runtime_error(
+          "--merge: " + out_manifest.string() +
+          " holds records but no campaign header — delete it (or restore "
+          "the header) before merging into this directory");
+  }
+
+  // Phase 2: append, writing exactly one header line overall.
+  fs::create_directories(out_dir);
+  std::ofstream out(out_manifest, std::ios::app);
+  if (!out)
+    throw std::runtime_error("--merge: cannot write " +
+                             out_manifest.string());
+  if (!target_has_header) out << header_line << "\n";
+  for (const std::string& line : record_lines) out << line << "\n";
+  return record_lines.size();
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -97,6 +257,7 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.config.shard_index = std::stoi(shard.substr(0, slash));
       opt.config.shard_count = std::stoi(shard.substr(slash + 1));
     }
+    else if (flag == "--merge") opt.merge_sources.emplace_back(next());
     else if (flag == "--list") opt.list = true;
     else if (flag == "--quiet") opt.quiet = true;
     else throw std::runtime_error("unknown flag: " + flag);
@@ -138,6 +299,17 @@ int main(int argc, char** argv) {
       opt.config.out_dir = opt.out_dir;
     else
       opt.config.out_dir = "campaign_" + spec.name;
+
+    if (!opt.merge_sources.empty() && !opt.list) {
+      if (opt.config.out_dir.empty())
+        throw std::runtime_error("--merge needs a persistent --out directory");
+      std::ostringstream fingerprint;
+      fingerprint << "0x" << std::hex << exp::spec_fingerprint(spec);
+      const std::size_t merged = merge_manifests(
+          opt.merge_sources, opt.config.out_dir, fingerprint.str());
+      std::cout << "merged " << merged << " cell records into "
+                << opt.config.out_dir << "/manifest.jsonl\n";
+    }
 
     exp::CampaignRunner runner(std::move(spec), opt.config);
 
@@ -184,7 +356,8 @@ int main(int argc, char** argv) {
       std::cout << "artifacts:\n  " << outcome.manifest_path << "\n  "
                 << outcome.results_json_path << "\n  "
                 << outcome.results_csv_path << "\n  " << outcome.meta_path
-                << "\n";
+                << "\n  " << outcome.timing_path
+                << "  (side channel, not deterministic)\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -9,6 +9,7 @@
 ///                [--n 16384] [--d 8] [--choices K] [--memory M]
 ///                [--quasirandom] [--failure P] [--alpha A] [--seed S]
 ///                [--trials T] [--threads W] [--chunk C] [--json PATH]
+///                [--metrics LIST]
 ///
 /// SCHEME is any canonical scheme name (`--list-schemes` prints all of
 /// them, straight from the library's scheme table) or one of the short
@@ -16,11 +17,16 @@
 /// algorithm on G(2^14, 8). Trials run on the deterministic parallel
 /// runner: --threads only changes wall-clock time, never the printed
 /// numbers. --json additionally writes the summaries as a machine-readable
-/// report through the shared artifact writer.
+/// report through the shared artifact writer. --metrics attaches the
+/// observer pipeline's registry metrics (rrb/metrics/registry.hpp) — the
+/// same names the campaign spec's `metrics =` line accepts — and prints
+/// their per-node distribution digests; observers are read-only, so every
+/// other printed number is unchanged.
 
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "rrb/common/table.hpp"
 #include "rrb/core/scheme_dispatch.hpp"
@@ -28,6 +34,7 @@
 #include "rrb/graph/algorithms.hpp"
 #include "rrb/graph/generators.hpp"
 #include "rrb/graph/io.hpp"
+#include "rrb/metrics/registry.hpp"
 #include "rrb/sim/runner.hpp"
 #include "rrb/sim/trial.hpp"
 
@@ -47,6 +54,7 @@ struct Options {
   int trials = 3;
   rrb::RunnerConfig runner;
   std::string json_path;  // empty = no JSON report
+  std::string metrics;    // comma list of registry metrics, or "all"
   bool list_schemes = false;
 };
 
@@ -80,7 +88,43 @@ void usage() {
       "auto)\n"
       "  --json PATH  also write the summaries as a JSON report (shared "
       "artifact\n"
-      "               writer, same layout as the BENCH_*.json files)\n";
+      "               writer, same layout as the BENCH_*.json files)\n"
+      "  --metrics LIST  comma-separated registry metrics to collect via "
+      "the\n"
+      "               observer pipeline (tx-histogram, latency), or 'all'.\n"
+      "               Read-only: the other printed numbers do not change.\n";
+}
+
+/// Resolve --metrics into registry kinds ("all" = the whole registry).
+std::vector<rrb::MetricKind> parse_metric_list(const std::string& list) {
+  std::vector<rrb::MetricKind> selected;
+  if (list.empty()) return selected;
+  if (list == "all") {
+    selected.assign(rrb::kAllMetrics.begin(), rrb::kAllMetrics.end());
+    return selected;
+  }
+  std::string_view rest = list;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view item = rest.substr(0, comma);
+    while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
+    while (!item.empty() && item.back() == ' ') item.remove_suffix(1);
+    const auto kind = rrb::parse_metric(item);
+    if (!kind)
+      throw std::runtime_error("unknown metric '" + std::string(item) +
+                               "' (known: " + rrb::known_metric_names() +
+                               ", all)");
+    // Same rule as the campaign spec parser: duplicates would print (and
+    // report) the same digest twice.
+    for (const rrb::MetricKind existing : selected)
+      if (existing == *kind)
+        throw std::runtime_error("duplicate metric '" + std::string(item) +
+                                 "'");
+    selected.push_back(*kind);
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  return selected;
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -106,6 +150,7 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (flag == "--threads") opt.runner.threads = std::stoi(next());
     else if (flag == "--chunk") opt.runner.chunk = std::stoi(next());
     else if (flag == "--json") opt.json_path = next();
+    else if (flag == "--metrics") opt.metrics = next();
     else throw std::runtime_error("unknown flag: " + flag);
   }
   if (opt.runner.threads < 0) throw std::runtime_error("--threads must be >= 0");
@@ -207,18 +252,38 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  std::vector<MetricKind> selected_metrics;
+  try {
+    selected_metrics = parse_metric_list(opt.metrics);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
   TrialConfig config;
   config.trials = opt.trials;
   config.seed = opt.seed;
   config.channel = channel;
   config.runner = opt.runner;
 
-  const TrialOutcome out = run_trials(
-      graph_factory,
+  const ProtocolFactory protocol_factory =
       [&scheme_options](const Graph& graph) {
         return make_scheme(graph, scheme_options).protocol;
-      },
-      config);
+      };
+
+  // The observed overload returns a byte-identical TrialOutcome (observers
+  // are read-only), so both branches print the very same summary table.
+  TrialOutcome out;
+  std::vector<MetricStack> stacks;
+  if (selected_metrics.empty()) {
+    out = run_trials(graph_factory, protocol_factory, config);
+  } else {
+    ObservedOutcome<MetricStack> observed = run_trials(
+        graph_factory, protocol_factory, config,
+        [](const Graph&) { return MetricStack{}; });
+    out = std::move(observed.outcome);
+    stacks = std::move(observed.observers);
+  }
 
   Table table({"metric", "mean", "min", "max"});
   table.set_title(opt.protocol + " on " + opt.graph + " (n=" +
@@ -239,6 +304,32 @@ int main(int argc, char** argv) {
   row("pull transmissions", out.pull_tx, 0);
   std::cout << table;
   std::cout << "completion rate: " << out.completion_rate << "\n";
+
+  // Mean-over-trials digest per selected metric, reduced in trial order
+  // (the same discipline every deterministic reduction in the repo uses).
+  std::vector<rrb::exp::JsonObject> metric_rows;
+  if (!selected_metrics.empty()) {
+    Table mtable({"metric", "p50", "p90", "p99", "max"});
+    mtable.set_title("per-node distributions (means over " +
+                     std::to_string(opt.trials) + " trials)");
+    for (const MetricKind kind : selected_metrics) {
+      const QuantileSummary mean = metric_summary_mean(stacks, kind);
+      mtable.begin_row();
+      mtable.add(metric_name(kind));
+      mtable.add(mean.p50, 2);
+      mtable.add(mean.p90, 2);
+      mtable.add(mean.p99, 2);
+      mtable.add(mean.max, 2);
+      metric_rows.emplace_back();
+      metric_rows.back()
+          .set("metric", metric_name(kind))
+          .set("p50_mean", mean.p50)
+          .set("p90_mean", mean.p90)
+          .set("p99_mean", mean.p99)
+          .set("max_mean", mean.max);
+    }
+    std::cout << mtable;
+  }
 
   if (!opt.json_path.empty()) {
     exp::BenchReport report("simulate_cli", "n/a",
@@ -264,6 +355,11 @@ int main(int argc, char** argv) {
     summary_row("tx_per_node", out.tx_per_node);
     summary_row("push_tx", out.push_tx);
     summary_row("pull_tx", out.pull_tx);
+    for (const exp::JsonObject& metric_row : metric_rows) {
+      exp::JsonObject& json_row = report.row();
+      for (const exp::JsonObject::Field& field : metric_row.fields())
+        json_row.set_raw(field);
+    }
     report.write_to(opt.json_path);
   }
   return out.completion_rate == 1.0 ? 0 : 1;

@@ -53,19 +53,14 @@ SchemeParts make_scheme(const Graph& graph, const BroadcastOptions& options) {
 
 RunResult broadcast(const Graph& graph, NodeId source,
                     const BroadcastOptions& options) {
-  RRB_REQUIRE(source < graph.num_nodes(), "source out of range");
-  // Statically dispatched: the engine template is instantiated per concrete
-  // protocol type, so the round loop below the facade is devirtualised.
-  return with_scheme(
-      graph, options, [&](auto proto, const ChannelConfig& channel) {
-        Rng rng(options.seed);
-        GraphTopology topology(graph);
-        PhoneCallEngine<GraphTopology> engine(topology, channel, rng);
-        RunLimits limits;
-        limits.max_rounds = options.max_rounds;
-        limits.record_rounds = options.record_rounds;
-        return engine.run(proto, source, limits);
-      });
+  // One body for both facade paths: the bare run IS the observed run with
+  // the no-op observer (whose absent hooks compile away), so the
+  // observed-equals-bare guarantee cannot drift out of sync. Statically
+  // dispatched either way: the engine template is instantiated per
+  // concrete protocol type, so the round loop below the facade is
+  // devirtualised.
+  detail::NoMetrics none;
+  return broadcast(graph, source, options, none);
 }
 
 }  // namespace rrb

@@ -6,11 +6,13 @@
 
 #include "rrb/common/check.hpp"
 #include "rrb/core/broadcast.hpp"
+#include "rrb/metrics/observer.hpp"
 #include "rrb/protocols/baselines.hpp"
 #include "rrb/protocols/four_choice.hpp"
 #include "rrb/protocols/median_counter.hpp"
 #include "rrb/protocols/sequentialised.hpp"
 #include "rrb/protocols/throttled.hpp"
+#include "rrb/rng/rng.hpp"
 
 /// \file scheme_dispatch.hpp
 /// Compile-time scheme dispatch: the one switch that maps a BroadcastScheme
@@ -146,6 +148,28 @@ decltype(auto) with_scheme(const Graph& graph, const BroadcastOptions& options,
   shape.mean_degree = static_cast<double>(2 * graph.num_edges()) /
                       static_cast<double>(graph.num_nodes());
   return with_scheme(shape, options, std::forward<Visitor>(visit));
+}
+
+/// Instrumented broadcast(): the facade run with a metric observer attached
+/// (rrb/metrics/observer.hpp). Observers are read-only and draw no
+/// randomness, so this returns the exact RunResult of the bare
+/// broadcast(graph, source, options) — the observer is a pure side channel
+/// (pinned in tests/test_metrics.cpp). Lives here rather than
+/// broadcast.hpp because the template must see with_scheme().
+template <MetricObserver ObserverT>
+RunResult broadcast(const Graph& graph, NodeId source,
+                    const BroadcastOptions& options, ObserverT& observers) {
+  RRB_REQUIRE(source < graph.num_nodes(), "source out of range");
+  return with_scheme(
+      graph, options, [&](auto proto, const ChannelConfig& channel) {
+        Rng rng(options.seed);
+        GraphTopology topology(graph);
+        PhoneCallEngine<GraphTopology> engine(topology, channel, rng);
+        RunLimits limits;
+        limits.max_rounds = options.max_rounds;
+        limits.record_rounds = options.record_rounds;
+        return engine.run(proto, source, limits, observers);
+      });
 }
 
 }  // namespace rrb

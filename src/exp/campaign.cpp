@@ -1,5 +1,6 @@
 #include "rrb/exp/campaign.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -11,6 +12,7 @@
 
 #include "rrb/core/scheme_dispatch.hpp"
 #include "rrb/graph/generators.hpp"
+#include "rrb/metrics/registry.hpp"
 #include "rrb/p2p/churn.hpp"
 #include "rrb/p2p/overlay.hpp"
 #include "rrb/phonecall/engine.hpp"
@@ -97,9 +99,43 @@ void set_axis_fields(JsonObject& record, const CampaignSpec& spec,
       .set("cell_seed", to_hex(cell.seed));
 }
 
+/// Registry-metric columns: the digest means over trials via the shared
+/// metric_summary_mean reduction (trial order, so the columns are
+/// byte-identical for any schedule). Only the *selected* metrics emit
+/// columns (the stack collects all of them in one engine pass; unselected
+/// digests are simply not rendered).
+void set_metric_columns(JsonObject& record, const CampaignSpec& spec,
+                        const std::vector<MetricStack>& per_trial) {
+  for (const MetricKind kind : spec.metrics) {
+    const QuantileSummary mean = metric_summary_mean(per_trial, kind);
+    const std::string prefix = metric_column_prefix(kind);
+    record.set(prefix + "_p50_mean", mean.p50)
+        .set(prefix + "_p90_mean", mean.p90)
+        .set(prefix + "_p99_mean", mean.p99)
+        .set(prefix + "_max_mean", mean.max);
+  }
+}
+
+void set_static_columns(JsonObject& record, const TrialOutcome& out) {
+  record.set("rounds_mean", out.rounds.mean)
+      .set("rounds_min", out.rounds.min)
+      .set("rounds_max", out.rounds.max)
+      .set("completion_mean", out.completion_round.mean)
+      .set("completion_rate", out.completion_rate)
+      .set("coverage_mean", out.coverage.mean)
+      .set("tx_per_node_mean", out.tx_per_node.mean)
+      .set("tx_per_node_max", out.tx_per_node.max)
+      .set("total_tx_mean", out.total_tx.mean)
+      .set("push_tx_mean", out.push_tx.mean)
+      .set("pull_tx_mean", out.pull_tx.mean);
+}
+
 /// Static-graph cell: the same run_trials path the bench harness has
 /// always used — graph regenerated per trial, protocol from the canonical
-/// scheme pairing, trials reduced in trial order.
+/// scheme pairing, trials reduced in trial order. With metrics selected,
+/// the observed overload runs instead: observers are read-only, so every
+/// base column keeps its exact metric-less value and the digests land in
+/// appended columns (pinned in tests/test_campaign.cpp).
 void run_static_cell(const CampaignSpec& spec, const CampaignCell& cell,
                      const RunnerConfig& trial_runner, JsonObject& record) {
   const BroadcastOptions options = options_for(spec, cell);
@@ -114,23 +150,21 @@ void run_static_cell(const CampaignSpec& spec, const CampaignCell& cell,
   config.random_source = spec.random_source;
   config.runner = trial_runner;
 
-  const TrialOutcome out = run_trials(
-      graph_factory_for(cell),
-      [options](const Graph& graph) {
-        return make_scheme(graph, options).protocol;
-      },
-      config);
+  const GraphFactory graph_factory = graph_factory_for(cell);
+  const ProtocolFactory protocol_factory = [options](const Graph& graph) {
+    return make_scheme(graph, options).protocol;
+  };
 
-  record.set("rounds_mean", out.rounds.mean)
-      .set("rounds_min", out.rounds.min)
-      .set("rounds_max", out.rounds.max)
-      .set("completion_mean", out.completion_round.mean)
-      .set("completion_rate", out.completion_rate)
-      .set("tx_per_node_mean", out.tx_per_node.mean)
-      .set("tx_per_node_max", out.tx_per_node.max)
-      .set("total_tx_mean", out.total_tx.mean)
-      .set("push_tx_mean", out.push_tx.mean)
-      .set("pull_tx_mean", out.pull_tx.mean);
+  if (spec.metrics.empty()) {
+    set_static_columns(record, run_trials(graph_factory, protocol_factory,
+                                          config));
+    return;
+  }
+  const ObservedOutcome<MetricStack> observed = run_trials(
+      graph_factory, protocol_factory, config,
+      [](const Graph&) { return MetricStack{}; });
+  set_static_columns(record, observed.outcome);
+  set_metric_columns(record, spec, observed.observers);
 }
 
 /// Churn cell: the broadcast runs on a DynamicOverlay while a ChurnDriver
@@ -157,6 +191,14 @@ void run_churn_cell(const CampaignSpec& spec, const CampaignCell& cell,
       cell.n + static_cast<NodeId>(std::ceil(
                    static_cast<double>(cell.n) * spec.churn_headroom));
 
+  // Per-trial metric stacks, reduced in trial order below — the same slot
+  // discipline as Measurement, so metric columns obey the determinism
+  // contract too. Observers draw nothing: the branch below attaches the
+  // stack without touching the trial's draw sequence.
+  const bool want_metrics = !spec.metrics.empty();
+  std::vector<MetricStack> stacks(
+      want_metrics ? static_cast<std::size_t>(spec.trials) : 0);
+
   ParallelRunner runner(trial_runner);
   runner.for_each_trial(spec.trials, [&](int trial) {
     Rng rng = Rng(cell.seed).fork(static_cast<std::uint64_t>(trial));
@@ -167,6 +209,7 @@ void run_churn_cell(const CampaignSpec& spec, const CampaignCell& cell,
     churn.switches_per_round = spec.churn_switches;
     ChurnDriver driver(overlay, churn, rng);
 
+    MetricStack stack;
     const RunResult result = with_scheme(
         shape, options, [&](auto proto, const ChannelConfig& channel) {
           PhoneCallEngine<DynamicOverlay> engine(overlay, channel, rng);
@@ -175,8 +218,10 @@ void run_churn_cell(const CampaignSpec& spec, const CampaignCell& cell,
           limits.max_rounds = spec.max_rounds;
           const NodeId source =
               spec.random_source ? overlay.random_alive(rng) : 0;
+          if (want_metrics) return engine.run(proto, source, limits, stack);
           return engine.run(proto, source, limits);
         });
+    if (want_metrics) stacks[static_cast<std::size_t>(trial)] = std::move(stack);
 
     Measurement& m = slots[static_cast<std::size_t>(trial)];
     const auto alive = static_cast<double>(result.alive_at_end);
@@ -212,6 +257,7 @@ void run_churn_cell(const CampaignSpec& spec, const CampaignCell& cell,
       .set("leaves_mean", leaves.finish().mean)
       .set("alive_mean", alive.finish().mean)
       .set("tx_per_alive_mean", tx.finish().mean);
+  if (want_metrics) set_metric_columns(record, spec, stacks);
 }
 
 }  // namespace
@@ -301,6 +347,30 @@ CampaignOutcome CampaignRunner::run(const CellProgress& progress) {
     }
   }
 
+  // Timing side channel (see campaign.hpp): wall time per freshly computed
+  // cell, appended in completion order. Deliberately kept out of the
+  // manifest/results so the deterministic artifacts stay byte-identical
+  // whatever the hardware did; a failed open just disables the channel.
+  std::ofstream timing_out;
+  if (persist) {
+    outcome.timing_path = config_.out_dir + "/timing.jsonl";
+    timing_out.open(outcome.timing_path, std::ios::app);
+  }
+  using Clock = std::chrono::steady_clock;
+  std::vector<double> wall_ms(mine.size(), 0.0);
+  auto record_timing = [&](std::size_t i) {
+    if (!timing_out || outcome.cells[i].reused) return;
+    const double ms = wall_ms[i];
+    JsonObject line;
+    line.set("key", outcome.cells[i].cell.key)
+        .set("wall_ms", ms)
+        .set("trials", spec_.trials)
+        .set("trials_per_s",
+             ms > 0.0 ? static_cast<double>(spec_.trials) / (ms / 1000.0)
+                      : 0.0);
+    timing_out << line.to_line() << "\n" << std::flush;
+  };
+
   // ---- Fill slots: reuse journal records, collect the cells still to run.
   outcome.cells.resize(mine.size());
   std::vector<std::size_t> missing;
@@ -322,14 +392,20 @@ CampaignOutcome CampaignRunner::run(const CellProgress& progress) {
   auto complete = [&](std::size_t i) {
     if (persist && !outcome.cells[i].reused)
       journal_out << outcome.cells[i].record.to_line() << "\n" << std::flush;
+    record_timing(i);
     if (progress) progress(outcome.cells[i]);
   };
 
   if (!config_.parallel_cells) {
     // Cells in cell order; each cell's trials fan out on the pool.
     for (std::size_t i = 0; i < mine.size(); ++i) {
-      if (!outcome.cells[i].reused)
+      if (!outcome.cells[i].reused) {
+        const Clock::time_point start = Clock::now();
         outcome.cells[i].record = run_cell(spec_, *mine[i], config_.runner);
+        wall_ms[i] = std::chrono::duration<double, std::milli>(
+                         Clock::now() - start)
+                         .count();
+      }
       complete(i);
     }
   } else {
@@ -344,9 +420,14 @@ CampaignOutcome CampaignRunner::run(const CellProgress& progress) {
     ParallelRunner pool(config_.runner);
     pool.for_each_trial(static_cast<int>(missing.size()), [&](int j) {
       const std::size_t i = missing[static_cast<std::size_t>(j)];
+      const Clock::time_point start = Clock::now();
       JsonObject record = run_cell(spec_, *mine[i], inner);
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count();
       const std::lock_guard<std::mutex> lock(mutex);
       outcome.cells[i].record = std::move(record);
+      wall_ms[i] = ms;
       complete(i);
     });
   }

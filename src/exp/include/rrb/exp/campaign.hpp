@@ -29,6 +29,11 @@
 ///  * `campaign.json` — the spec echo + fingerprint. Contains no
 ///    timings or completion counts, so it is byte-identical however the
 ///    campaign was executed.
+///  * `timing.jsonl` — a SIDE CHANNEL, never part of the deterministic
+///    record set: one appended line per freshly computed cell with its
+///    wall time and trial throughput, so campaign runs feed the perf
+///    trajectory the way bench_micro_engine's BENCH_*.json does.
+///    Determinism diffs (CI, tests) must never include this file.
 ///
 /// Sharding: `shard_index/shard_count` restricts a run to cells with
 /// `index % shard_count == shard_index`. Shards write to separate
@@ -74,6 +79,8 @@ struct CampaignOutcome {
   std::string results_json_path;  ///< empty for in-memory runs
   std::string results_csv_path;   ///< empty for in-memory runs
   std::string meta_path;          ///< empty for in-memory runs
+  std::string timing_path;        ///< wall-time side channel; empty for
+                                  ///< in-memory runs (see timing.jsonl above)
 };
 
 /// Streamed per-cell completion callback. Invoked in completion order

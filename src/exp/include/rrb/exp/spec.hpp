@@ -9,6 +9,7 @@
 
 #include "rrb/common/types.hpp"
 #include "rrb/core/broadcast.hpp"
+#include "rrb/metrics/registry.hpp"
 
 /// \file spec.hpp
 /// Declarative experiment campaigns: a CampaignSpec names the axes of an
@@ -81,6 +82,20 @@ struct CampaignSpec {
   bool overlay = false;         ///< run every cell on the dynamic overlay
   int churn_switches = 2;       ///< maintenance 2-switches per round
   double churn_headroom = 0.5;  ///< overlay slot capacity = n * (1 + this)
+
+  // ---- Metrics. Registry metrics (rrb/metrics/registry.hpp) collected
+  // per trial via the observer pipeline and emitted as extra
+  // `<prefix>_*_mean` columns in every cell record (spec line
+  // `metrics = tx-histogram, latency`; `metrics = none` clears).
+  //
+  // Metrics are NOT a grid axis: observers are read-only and draw no
+  // randomness, so enabling them changes no cell key, no cell seed and no
+  // existing column — records just grow columns. They DO enter the spec
+  // fingerprint (a metric-less manifest lacks the columns, so resuming
+  // across a metrics change is refused); see also the record-schema
+  // version folded into spec_fingerprint(), which guards column changes
+  // that are not spec-visible at all.
+  std::vector<MetricKind> metrics;
 };
 
 /// One expanded grid point.

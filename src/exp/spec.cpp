@@ -273,11 +273,28 @@ std::string describe(const CampaignSpec& spec) {
          "\n";
   out += "churn_switches = " + std::to_string(spec.churn_switches) + "\n";
   out += "churn_headroom = " + format_double(spec.churn_headroom) + "\n";
+  // Emitted only when non-empty so a metric-less spec's describe() (and
+  // campaign.json echo) is byte-stable regardless of metrics support.
+  if (!spec.metrics.empty()) {
+    out += "metrics = ";
+    for (std::size_t i = 0; i < spec.metrics.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += metric_name(spec.metrics[i]);
+    }
+    out += "\n";
+  }
   return out;
 }
 
 std::uint64_t spec_fingerprint(const CampaignSpec& spec) {
-  return hash_string(describe(spec));
+  // The record *schema* is part of the identity the fingerprint guards,
+  // not just the grid: reusing a journal line means reusing its exact
+  // columns, so a manifest written by a binary with a different column
+  // set must be refused, or resume/merge would mix record schemas in one
+  // results stream. Bump kRecordSchema whenever cell records gain, lose
+  // or rename columns (v2: static records grew coverage_mean).
+  constexpr std::string_view kRecordSchema = "record_schema = v2\n";
+  return hash_string(describe(spec) + std::string(kRecordSchema));
 }
 
 void apply_setting(CampaignSpec& spec, std::string_view key,
@@ -342,6 +359,24 @@ void apply_setting(CampaignSpec& spec, std::string_view key,
     if (!(headroom >= 0.0) || !std::isfinite(headroom))
       fail("churn_headroom must be finite and >= 0");
     spec.churn_headroom = headroom;
+  } else if (key == "metrics") {
+    if (trim(value) == "none") {
+      spec.metrics.clear();
+    } else {
+      spec.metrics = parse_axis<MetricKind>(value, [](std::string_view v) {
+        const auto kind = parse_metric(v);
+        if (!kind)
+          fail("unknown metric '" + std::string(v) + "' (known: " +
+               known_metric_names() + ")");
+        return *kind;
+      });
+      // Duplicates would emit the same columns twice, breaking the CSV.
+      for (std::size_t i = 0; i < spec.metrics.size(); ++i)
+        for (std::size_t j = i + 1; j < spec.metrics.size(); ++j)
+          if (spec.metrics[i] == spec.metrics[j])
+            fail("duplicate metric '" +
+                 std::string(metric_name(spec.metrics[i])) + "'");
+    }
   } else {
     fail("unknown spec key '" + std::string(key) + "'");
   }

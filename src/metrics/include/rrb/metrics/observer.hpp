@@ -1,0 +1,179 @@
+#pragma once
+
+#include <concepts>
+#include <span>
+#include <tuple>
+#include <utility>
+
+#include "rrb/common/types.hpp"
+#include "rrb/phonecall/result.hpp"
+
+/// \file observer.hpp
+/// The measurement side of the engine's static-dispatch design: metric
+/// observers.
+///
+/// PR 3 made *protocols* plain classes behind the ProtocolImpl concept so
+/// the round loop inlines their callbacks; this module does the same for
+/// *measurements*. A metric observer is any class exposing a subset of the
+/// hooks below; PhoneCallEngine::run() detects each hook with `requires`
+/// (exactly as it detects optional protocol hooks) and compiles the call
+/// into the round loop — an absent hook costs nothing, and a run with no
+/// observer compiles to the same loop as before observers existed.
+///
+/// Hooks, in firing order:
+///
+///   on_run_begin(n, sources)          once, after sources are seeded
+///   on_round_begin(t)                 once per round, before phase A
+///   on_transmission(event)            per delivered copy of the message
+///   on_node_informed(v, t)            per first-time delivery
+///   on_round_end(stats, informed_at)  once per round, after bookkeeping
+///   on_run_end(result, informed_at)   once, before run() returns
+///
+/// Observers are READ-ONLY: they draw no randomness and mutate no engine or
+/// topology state (ROADMAP.md records this as a persistent invariant). That
+/// is what makes instrumented runs bit-identical to bare runs — the engine's
+/// draw sequence is part of the library's output contract, and a hook that
+/// consumed a draw or changed the informed set would invalidate every
+/// recorded experiment. tests/test_metrics.cpp pins the equivalence for all
+/// eight schemes at worker threads 1 and 4.
+
+namespace rrb {
+
+namespace detail {
+
+template <typename O>
+concept HasOnRunBegin = requires(O& o, NodeId n, std::span<const NodeId> s) {
+  o.on_run_begin(n, s);
+};
+template <typename O>
+concept HasOnRoundBegin = requires(O& o, Round t) { o.on_round_begin(t); };
+template <typename O>
+concept HasOnTransmission = requires(O& o, const TransmissionEvent& e) {
+  o.on_transmission(e);
+};
+template <typename O>
+concept HasOnNodeInformed = requires(O& o, NodeId v, Round t) {
+  o.on_node_informed(v, t);
+};
+template <typename O>
+concept HasOnRoundEnd =
+    requires(O& o, const RoundStats& s, std::span<const Round> ia) {
+      o.on_round_end(s, ia);
+    };
+template <typename O>
+concept HasOnRunEnd =
+    requires(O& o, const RunResult& r, std::span<const Round> ia) {
+      o.on_run_end(r, ia);
+    };
+
+}  // namespace detail
+
+/// A metric observer: movable (the trial runners park one per trial and
+/// reduce them in trial order), named (the registry and reports key on it),
+/// with every hook optional. The concept deliberately does not require any
+/// hook — an observer measuring only at run end is as valid as one watching
+/// every transmission.
+template <typename O>
+concept MetricObserver = std::move_constructible<O> && requires(const O& o) {
+  { o.name() } -> std::convertible_to<const char*>;
+};
+
+/// Zero-overhead composition of observers. The set exposes exactly the
+/// union of its members' hooks — a hook no member implements is not
+/// declared (its requires-clause fails), so the engine's detection skips it
+/// and composition never widens the instrumented surface. Hooks fan out to
+/// members in construction order; observers are read-only, so the order is
+/// unobservable (tests pin this).
+template <MetricObserver... Obs>
+class ObserverSet {
+ public:
+  ObserverSet() = default;
+  explicit ObserverSet(Obs... obs)
+    requires(sizeof...(Obs) > 0)
+      : obs_(std::move(obs)...) {}
+
+  [[nodiscard]] const char* name() const { return "observer-set"; }
+
+  /// The I-th member, in declaration order.
+  template <std::size_t I>
+  [[nodiscard]] auto& get() {
+    return std::get<I>(obs_);
+  }
+  template <std::size_t I>
+  [[nodiscard]] const auto& get() const {
+    return std::get<I>(obs_);
+  }
+  /// The unique member of type O (ill-formed if O appears twice).
+  template <typename O>
+  [[nodiscard]] O& get() {
+    return std::get<O>(obs_);
+  }
+  template <typename O>
+  [[nodiscard]] const O& get() const {
+    return std::get<O>(obs_);
+  }
+
+  void on_run_begin(NodeId n, std::span<const NodeId> sources)
+    requires(detail::HasOnRunBegin<Obs> || ...)
+  {
+    for_each([&](auto& o) {
+      if constexpr (detail::HasOnRunBegin<std::decay_t<decltype(o)>>)
+        o.on_run_begin(n, sources);
+    });
+  }
+
+  void on_round_begin(Round t)
+    requires(detail::HasOnRoundBegin<Obs> || ...)
+  {
+    for_each([&](auto& o) {
+      if constexpr (detail::HasOnRoundBegin<std::decay_t<decltype(o)>>)
+        o.on_round_begin(t);
+    });
+  }
+
+  void on_transmission(const TransmissionEvent& event)
+    requires(detail::HasOnTransmission<Obs> || ...)
+  {
+    for_each([&](auto& o) {
+      if constexpr (detail::HasOnTransmission<std::decay_t<decltype(o)>>)
+        o.on_transmission(event);
+    });
+  }
+
+  void on_node_informed(NodeId v, Round t)
+    requires(detail::HasOnNodeInformed<Obs> || ...)
+  {
+    for_each([&](auto& o) {
+      if constexpr (detail::HasOnNodeInformed<std::decay_t<decltype(o)>>)
+        o.on_node_informed(v, t);
+    });
+  }
+
+  void on_round_end(const RoundStats& stats, std::span<const Round> informed_at)
+    requires(detail::HasOnRoundEnd<Obs> || ...)
+  {
+    for_each([&](auto& o) {
+      if constexpr (detail::HasOnRoundEnd<std::decay_t<decltype(o)>>)
+        o.on_round_end(stats, informed_at);
+    });
+  }
+
+  void on_run_end(const RunResult& result, std::span<const Round> informed_at)
+    requires(detail::HasOnRunEnd<Obs> || ...)
+  {
+    for_each([&](auto& o) {
+      if constexpr (detail::HasOnRunEnd<std::decay_t<decltype(o)>>)
+        o.on_run_end(result, informed_at);
+    });
+  }
+
+ private:
+  template <typename F>
+  void for_each(const F& f) {
+    std::apply([&](auto&... o) { (f(o), ...); }, obs_);
+  }
+
+  std::tuple<Obs...> obs_;
+};
+
+}  // namespace rrb

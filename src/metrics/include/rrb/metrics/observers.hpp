@@ -1,0 +1,237 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rrb/common/types.hpp"
+#include "rrb/graph/graph.hpp"
+#include "rrb/metrics/observer.hpp"
+#include "rrb/phonecall/edge_ids.hpp"
+#include "rrb/phonecall/result.hpp"
+
+/// \file observers.hpp
+/// The library's standard metric observers — every measurement the
+/// experiment harness used to hardwire into a different layer (fixed
+/// engine counters, the trace_set_sizes() special path, ad-hoc bench
+/// aggregation), re-expressed as composable observers:
+///
+///   RunSummaryObserver       re-derives RunResult from the hook stream
+///   RoundStatsObserver       the per-round stats record_rounds collects
+///   SetSizeObserver          |I(t)|, |I+(t)|, h(t)      (Lemmas 1-3)
+///   HSetObserver             h1/h4/h5                   (Lemma 8, §4.3)
+///   EdgeUsageObserver        used-edge bitmap and |U(t)| (Lemma 4)
+///   TxHistogramObserver      per-node transmission counts (the paper's
+///                            O(log log n) headline, as a distribution)
+///   InformedLatencyObserver  per-node informed-round distribution
+///
+/// All observers are read-only and draw no randomness (the ROADMAP
+/// observer invariant), so attaching any combination leaves a run's draw
+/// sequence and RunResult bit-identical. Several observers accept null
+/// topology pointers and construct disabled — callers with runtime
+/// measurement flags (TraceConfig) can always build the same ObserverSet
+/// type and flip individual members off without re-instantiating the
+/// engine template per flag combination.
+
+namespace rrb {
+
+/// Mean/quantile digest of a per-node sample (send counts, latencies).
+/// Quantiles interpolate over the sorted sample (rrb::quantile semantics);
+/// an empty sample digests to all zeros.
+struct QuantileSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Digest `values` (consumed: sorted in place). Deterministic — the digest
+/// is a pure function of the multiset of values.
+[[nodiscard]] QuantileSummary summarise_values(std::vector<double>&& values);
+
+/// Re-derives the whole-run summary from the hook stream alone — it
+/// deliberately ignores the RunResult handed to on_run_end, so comparing
+/// its result() with the engine's return value cross-checks the hook
+/// plumbing end to end (tests/test_metrics.cpp does, for every scheme).
+///
+/// Static-topology semantics: completion_round is the first round after
+/// which every node slot is informed, which matches the engine exactly when
+/// nothing dies mid-run; alive_at_end is likewise reported as n.
+class RunSummaryObserver {
+ public:
+  [[nodiscard]] const char* name() const { return "run-summary"; }
+
+  void on_run_begin(NodeId n, std::span<const NodeId> sources);
+  void on_round_end(const RoundStats& stats, std::span<const Round> informed_at);
+  void on_run_end(const RunResult& result, std::span<const Round> informed_at);
+
+  [[nodiscard]] const RunResult& result() const { return result_; }
+
+ private:
+  RunResult result_;
+};
+
+/// Collects every round's RoundStats — what RunLimits::record_rounds fills
+/// into RunResult::per_round, available without touching the limits (and
+/// therefore without changing the RunResult bytes of a recorded run).
+class RoundStatsObserver {
+ public:
+  [[nodiscard]] const char* name() const { return "round-stats"; }
+
+  void on_run_begin(NodeId n, std::span<const NodeId> sources);
+  void on_round_end(const RoundStats& stats, std::span<const Round> informed_at);
+
+  [[nodiscard]] const std::vector<RoundStats>& rounds() const {
+    return rounds_;
+  }
+
+ private:
+  std::vector<RoundStats> rounds_;
+};
+
+/// Per-round set sizes: |I(t)| (informed), |I+(t)| (newly informed this
+/// round) and h(t) = |H(t)| (uninformed), counted by scanning the
+/// informed_at array exactly as the retired trace_set_sizes() engine path
+/// did — the per-round values are bit-identical to the pre-observer ones.
+class SetSizeObserver {
+ public:
+  struct Point {
+    Round t = 0;
+    Count informed = 0;
+    Count newly_informed = 0;
+    Count uninformed = 0;
+  };
+
+  [[nodiscard]] const char* name() const { return "set-sizes"; }
+
+  void on_run_begin(NodeId n, std::span<const NodeId> sources);
+  void on_round_end(const RoundStats& stats, std::span<const Round> informed_at);
+
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+
+ private:
+  NodeId n_ = 0;
+  Count last_informed_ = 0;
+  std::vector<Point> points_;
+};
+
+/// Per-round h_i(t) = |{v in H(t) : v has >= i neighbours in H(t)}| for
+/// i = 1, 4, 5 — the quantities driving the paper's Phase 2/3 analysis.
+/// O(m) per round; construct with nullptr to disable (all hooks no-op).
+class HSetObserver {
+ public:
+  struct Point {
+    Round t = 0;
+    Count h1 = 0;
+    Count h4 = 0;
+    Count h5 = 0;
+  };
+
+  HSetObserver() = default;
+  explicit HSetObserver(const Graph* graph) : graph_(graph) {}
+
+  [[nodiscard]] const char* name() const { return "h-sets"; }
+  [[nodiscard]] bool enabled() const { return graph_ != nullptr; }
+
+  void on_run_begin(NodeId n, std::span<const NodeId> sources);
+  void on_round_end(const RoundStats& stats, std::span<const Round> informed_at);
+
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+
+ private:
+  const Graph* graph_ = nullptr;
+  std::vector<Point> points_;
+};
+
+/// Tracks which undirected edges have carried at least one transmission,
+/// replacing the engine's retired enable_edge_usage_tracking() hardwiring.
+/// Optionally (record_per_round) also counts |U(t)| — the number of nodes
+/// with at least one incident never-used edge (Lemma 4) — after each round.
+/// Construct with nullptrs to disable.
+class EdgeUsageObserver {
+ public:
+  EdgeUsageObserver() = default;
+  EdgeUsageObserver(const Graph* graph, const EdgeIdMap* edge_ids,
+                    bool record_per_round = false)
+      : graph_(graph), edge_ids_(edge_ids), record_per_round_(record_per_round) {}
+
+  [[nodiscard]] const char* name() const { return "edge-usage"; }
+  [[nodiscard]] bool enabled() const { return edge_ids_ != nullptr; }
+
+  void on_run_begin(NodeId n, std::span<const NodeId> sources);
+  void on_transmission(const TransmissionEvent& event);
+  void on_round_end(const RoundStats& stats, std::span<const Round> informed_at);
+
+  /// Bitmap over undirected edge ids: 1 = carried >= 1 transmission.
+  [[nodiscard]] const std::vector<std::uint8_t>& used() const { return used_; }
+  /// |U(t)| per round (empty unless record_per_round).
+  [[nodiscard]] const std::vector<Count>& unused_edge_nodes_per_round() const {
+    return unused_per_round_;
+  }
+
+ private:
+  const Graph* graph_ = nullptr;
+  const EdgeIdMap* edge_ids_ = nullptr;
+  bool record_per_round_ = false;
+  std::vector<std::uint8_t> used_;
+  std::vector<Count> unused_per_round_;
+};
+
+/// Per-node transmission counts — how many copies each node *sent* over the
+/// run. The digest is the distributional form of the paper's headline
+/// metric (tx_per_node is its mean): Theta(log n) per node for push,
+/// O(log log n) for the four-choice algorithm.
+///
+/// The digest covers the slots holding the message when the run ended
+/// (informed_at != kNever at on_run_end) — on a static graph that
+/// completed, all n nodes. The restriction is what keeps the digest honest
+/// on a churned overlay, where num_slots() includes never-occupied
+/// headroom slots and the slots of departed peers (both cleared to
+/// kNever): counting those as 0-send nodes would dilute every quantile.
+/// Caveat kept deliberately: a slot vacated and re-joined aggregates both
+/// occupants' sends — per-peer attribution would need peer identities the
+/// engine does not track.
+class TxHistogramObserver {
+ public:
+  [[nodiscard]] const char* name() const { return "tx-histogram"; }
+
+  void on_run_begin(NodeId n, std::span<const NodeId> sources);
+  void on_transmission(const TransmissionEvent& event);
+  void on_run_end(const RunResult& result, std::span<const Round> informed_at);
+
+  /// Copies sent by each node slot.
+  [[nodiscard]] const std::vector<Count>& sends() const { return sends_; }
+  /// Digest over the slots informed at run end (see class comment).
+  [[nodiscard]] QuantileSummary summarise() const;
+
+ private:
+  std::vector<Count> sends_;
+  std::vector<std::uint8_t> informed_;  ///< filled at on_run_end
+};
+
+/// Distribution of informed latencies: the round each node first received
+/// the message (sources at 0). Never-informed nodes are excluded from the
+/// digest; informed_fraction() reports how many made it.
+class InformedLatencyObserver {
+ public:
+  [[nodiscard]] const char* name() const { return "latency"; }
+
+  void on_run_end(const RunResult& result, std::span<const Round> informed_at);
+
+  /// Informed rounds of every informed node, ascending.
+  [[nodiscard]] const std::vector<double>& latencies() const {
+    return latencies_;
+  }
+  [[nodiscard]] QuantileSummary summarise() const;
+  /// Informed nodes / node slots (0 before on_run_end).
+  [[nodiscard]] double informed_fraction() const { return informed_fraction_; }
+
+ private:
+  std::vector<double> latencies_;
+  double informed_fraction_ = 0.0;
+};
+
+}  // namespace rrb

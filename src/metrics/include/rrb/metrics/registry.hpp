@@ -1,0 +1,68 @@
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rrb/metrics/observers.hpp"
+
+/// \file registry.hpp
+/// The named-metric registry: the single source of truth for which
+/// distribution metrics a harness can switch on by name. The campaign spec
+/// axis (`metrics = tx-histogram, latency`), simulate_cli --metrics and any
+/// future front end all parse through here, so adding a metric means adding
+/// it to MetricKind/kAllMetrics/metric_name (and a column block in the
+/// emitters) — never another ad-hoc flag.
+///
+/// Selected metrics only choose which *columns are emitted*; the full
+/// MetricStack is collected whenever any metric is enabled (the stack is a
+/// single pass over hooks the engine fires anyway, and keeping the
+/// instantiation single means one engine template, not 2^k of them).
+
+namespace rrb {
+
+/// Distribution metrics selectable by name.
+enum class MetricKind {
+  kTxHistogram,      ///< per-node transmission-count digest
+  kInformedLatency,  ///< per-node informed-round digest
+};
+
+/// Every registry metric, in enum order.
+inline constexpr std::array<MetricKind, 2> kAllMetrics = {
+    MetricKind::kTxHistogram,
+    MetricKind::kInformedLatency,
+};
+
+/// Stable metric name, used in spec files, CLI flags and column prefixes.
+[[nodiscard]] const char* metric_name(MetricKind kind);
+
+/// Inverse of metric_name; nullopt if unknown.
+[[nodiscard]] std::optional<MetricKind> parse_metric(std::string_view name);
+
+/// Comma-separated listing of every registry metric name, for error
+/// messages ("tx-histogram, latency") — derived from kAllMetrics so a new
+/// metric shows up in every front end's diagnostics automatically.
+[[nodiscard]] std::string known_metric_names();
+
+/// The full observer stack behind the registry: one engine pass collecting
+/// every registry metric. Default-constructed and sized at on_run_begin.
+using MetricStack = ObserverSet<TxHistogramObserver, InformedLatencyObserver>;
+
+/// The per-run digest of one registry metric from a collected stack.
+[[nodiscard]] QuantileSummary metric_summary(const MetricStack& stack,
+                                             MetricKind kind);
+
+/// Field-wise mean of the per-trial digests, accumulated in trial order —
+/// the one reduction behind the campaign's `<prefix>_*_mean` columns and
+/// simulate_cli's digest table, so the two emitters cannot drift apart.
+/// `count` reports the number of trials. Empty input digests to zeros.
+[[nodiscard]] QuantileSummary metric_summary_mean(
+    std::span<const MetricStack> stacks, MetricKind kind);
+
+/// Column prefix a metric's digest is emitted under ("tx_node", "latency").
+[[nodiscard]] const char* metric_column_prefix(MetricKind kind);
+
+}  // namespace rrb

@@ -1,0 +1,224 @@
+#include "rrb/metrics/observers.hpp"
+
+#include <algorithm>
+
+#include "rrb/analysis/histogram.hpp"
+#include "rrb/common/check.hpp"
+
+namespace rrb {
+
+QuantileSummary summarise_values(std::vector<double>&& values) {
+  QuantileSummary digest;
+  digest.count = values.size();
+  if (values.empty()) return digest;
+  std::sort(values.begin(), values.end());
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  digest.mean = sum / static_cast<double>(values.size());
+  digest.p50 = quantile(values, 0.50);
+  digest.p90 = quantile(values, 0.90);
+  digest.p99 = quantile(values, 0.99);
+  digest.max = values.back();
+  return digest;
+}
+
+// ---- RunSummaryObserver ----------------------------------------------------
+
+void RunSummaryObserver::on_run_begin(NodeId n,
+                                      std::span<const NodeId> sources) {
+  (void)sources;
+  result_ = RunResult{};
+  result_.n = n;
+  result_.alive_at_end = n;  // static-topology semantics, see header
+}
+
+void RunSummaryObserver::on_round_end(const RoundStats& stats,
+                                      std::span<const Round> informed_at) {
+  (void)informed_at;
+  result_.rounds = stats.t;
+  result_.push_tx += stats.push_tx;
+  result_.pull_tx += stats.pull_tx;
+  result_.channels_opened += stats.channels_opened;
+  result_.channels_failed += stats.channels_failed;
+  if (result_.completion_round == kNever &&
+      stats.informed >= static_cast<Count>(result_.n))
+    result_.completion_round = stats.t;
+}
+
+void RunSummaryObserver::on_run_end(const RunResult& result,
+                                    std::span<const Round> informed_at) {
+  // Deliberately ignores `result` — everything below is re-derived from
+  // the hook stream so tests can cross-check the plumbing against it.
+  (void)result;
+  Count informed = 0;
+  for (const Round at : informed_at)
+    if (at != kNever) ++informed;
+  result_.final_informed = informed;
+  result_.all_informed = informed >= result_.alive_at_end;
+}
+
+// ---- RoundStatsObserver ----------------------------------------------------
+
+void RoundStatsObserver::on_run_begin(NodeId n,
+                                      std::span<const NodeId> sources) {
+  (void)n;
+  (void)sources;
+  rounds_.clear();
+}
+
+void RoundStatsObserver::on_round_end(const RoundStats& stats,
+                                      std::span<const Round> informed_at) {
+  (void)informed_at;
+  rounds_.push_back(stats);
+}
+
+// ---- SetSizeObserver -------------------------------------------------------
+
+void SetSizeObserver::on_run_begin(NodeId n, std::span<const NodeId> sources) {
+  n_ = n;
+  points_.clear();
+  // Sources are informed before round 1; duplicates in the span seed one
+  // node each, so count the distinct ones.
+  std::vector<NodeId> distinct(sources.begin(), sources.end());
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  last_informed_ = distinct.size();
+}
+
+void SetSizeObserver::on_round_end(const RoundStats& stats,
+                                   std::span<const Round> informed_at) {
+  Count informed = 0;
+  for (const Round at : informed_at)
+    if (at != kNever) ++informed;
+  Point point;
+  point.t = stats.t;
+  point.informed = informed;
+  point.newly_informed = informed - last_informed_;
+  point.uninformed = static_cast<Count>(n_) - informed;
+  last_informed_ = informed;
+  points_.push_back(point);
+}
+
+// ---- HSetObserver ----------------------------------------------------------
+
+void HSetObserver::on_run_begin(NodeId n, std::span<const NodeId> sources) {
+  (void)sources;
+  points_.clear();
+  if (graph_ == nullptr) return;
+  RRB_REQUIRE(graph_->num_nodes() == n,
+              "HSetObserver graph does not match the engine's topology");
+}
+
+void HSetObserver::on_round_end(const RoundStats& stats,
+                                std::span<const Round> informed_at) {
+  if (graph_ == nullptr) return;
+  const Graph& g = *graph_;
+  const NodeId n = g.num_nodes();
+  Point point;
+  point.t = stats.t;
+  for (NodeId v = 0; v < n; ++v) {
+    if (informed_at[v] != kNever) continue;
+    NodeId inside = 0;
+    for (const NodeId w : g.neighbors(v))
+      if (informed_at[w] == kNever) ++inside;
+    if (inside >= 1) ++point.h1;
+    if (inside >= 4) ++point.h4;
+    if (inside >= 5) ++point.h5;
+  }
+  points_.push_back(point);
+}
+
+// ---- EdgeUsageObserver -----------------------------------------------------
+
+void EdgeUsageObserver::on_run_begin(NodeId n,
+                                     std::span<const NodeId> sources) {
+  (void)sources;
+  used_.clear();
+  unused_per_round_.clear();
+  if (edge_ids_ == nullptr) return;
+  RRB_REQUIRE(edge_ids_->slot_offsets.size() == n + 1U,
+              "EdgeUsageObserver edge id map does not match the topology");
+  used_.assign(edge_ids_->num_edges, 0);
+}
+
+void EdgeUsageObserver::on_transmission(const TransmissionEvent& event) {
+  if (edge_ids_ == nullptr) return;
+  used_[edge_ids_->edge_of(event.caller, event.edge_index)] = 1;
+}
+
+void EdgeUsageObserver::on_round_end(const RoundStats& stats,
+                                     std::span<const Round> informed_at) {
+  (void)stats;
+  (void)informed_at;
+  if (edge_ids_ == nullptr || !record_per_round_) return;
+  RRB_REQUIRE(graph_ != nullptr,
+              "per-round |U(t)| needs the graph the edge map was built from");
+  const Graph& g = *graph_;
+  const NodeId n = g.num_nodes();
+  Count unused_nodes = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId d = g.degree(v);
+    bool has_unused = false;
+    for (NodeId i = 0; i < d && !has_unused; ++i)
+      if (!used_[edge_ids_->edge_of(v, i)]) has_unused = true;
+    if (has_unused) ++unused_nodes;
+  }
+  unused_per_round_.push_back(unused_nodes);
+}
+
+// ---- TxHistogramObserver ---------------------------------------------------
+
+void TxHistogramObserver::on_run_begin(NodeId n,
+                                       std::span<const NodeId> sources) {
+  (void)sources;
+  sends_.assign(n, 0);
+  informed_.clear();
+}
+
+void TxHistogramObserver::on_transmission(const TransmissionEvent& event) {
+  ++sends_[event.from];
+}
+
+void TxHistogramObserver::on_run_end(const RunResult& result,
+                                     std::span<const Round> informed_at) {
+  (void)result;
+  informed_.assign(informed_at.size(), 0);
+  for (std::size_t v = 0; v < informed_at.size(); ++v)
+    informed_[v] = informed_at[v] != kNever ? 1 : 0;
+}
+
+QuantileSummary TxHistogramObserver::summarise() const {
+  // Digest over message-holding slots only (class comment): before
+  // on_run_end (no mask yet) fall back to all slots.
+  std::vector<double> values;
+  values.reserve(sends_.size());
+  for (std::size_t v = 0; v < sends_.size(); ++v)
+    if (informed_.empty() || informed_[v])
+      values.push_back(static_cast<double>(sends_[v]));
+  return summarise_values(std::move(values));
+}
+
+// ---- InformedLatencyObserver -----------------------------------------------
+
+void InformedLatencyObserver::on_run_end(const RunResult& result,
+                                         std::span<const Round> informed_at) {
+  (void)result;
+  latencies_.clear();
+  latencies_.reserve(informed_at.size());
+  for (const Round at : informed_at)
+    if (at != kNever) latencies_.push_back(static_cast<double>(at));
+  std::sort(latencies_.begin(), latencies_.end());
+  informed_fraction_ =
+      informed_at.empty()
+          ? 0.0
+          : static_cast<double>(latencies_.size()) /
+                static_cast<double>(informed_at.size());
+}
+
+QuantileSummary InformedLatencyObserver::summarise() const {
+  std::vector<double> copy = latencies_;
+  return summarise_values(std::move(copy));
+}
+
+}  // namespace rrb

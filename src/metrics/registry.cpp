@@ -1,0 +1,79 @@
+#include "rrb/metrics/registry.hpp"
+
+#include "rrb/common/check.hpp"
+
+namespace rrb {
+
+const char* metric_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kTxHistogram: return "tx-histogram";
+    case MetricKind::kInformedLatency: return "latency";
+  }
+  detail::check_failed("Precondition", "kind is a known MetricKind", __FILE__,
+                       __LINE__,
+                       "unknown metric value " +
+                           std::to_string(static_cast<int>(kind)));
+}
+
+std::optional<MetricKind> parse_metric(std::string_view name) {
+  for (const MetricKind kind : kAllMetrics)
+    if (name == metric_name(kind)) return kind;
+  return std::nullopt;
+}
+
+std::string known_metric_names() {
+  std::string names;
+  for (const MetricKind kind : kAllMetrics) {
+    if (!names.empty()) names += ", ";
+    names += metric_name(kind);
+  }
+  return names;
+}
+
+QuantileSummary metric_summary(const MetricStack& stack, MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kTxHistogram:
+      return stack.get<TxHistogramObserver>().summarise();
+    case MetricKind::kInformedLatency:
+      return stack.get<InformedLatencyObserver>().summarise();
+  }
+  detail::check_failed("Precondition", "kind is a known MetricKind", __FILE__,
+                       __LINE__,
+                       "unknown metric value " +
+                           std::to_string(static_cast<int>(kind)));
+}
+
+QuantileSummary metric_summary_mean(std::span<const MetricStack> stacks,
+                                    MetricKind kind) {
+  QuantileSummary mean;
+  mean.count = stacks.size();
+  if (stacks.empty()) return mean;
+  for (const MetricStack& stack : stacks) {  // trial order
+    const QuantileSummary digest = metric_summary(stack, kind);
+    mean.mean += digest.mean;
+    mean.p50 += digest.p50;
+    mean.p90 += digest.p90;
+    mean.p99 += digest.p99;
+    mean.max += digest.max;
+  }
+  const double scale = 1.0 / static_cast<double>(stacks.size());
+  mean.mean *= scale;
+  mean.p50 *= scale;
+  mean.p90 *= scale;
+  mean.p99 *= scale;
+  mean.max *= scale;
+  return mean;
+}
+
+const char* metric_column_prefix(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kTxHistogram: return "tx_node";
+    case MetricKind::kInformedLatency: return "latency";
+  }
+  detail::check_failed("Precondition", "kind is a known MetricKind", __FILE__,
+                       __LINE__,
+                       "unknown metric value " +
+                           std::to_string(static_cast<int>(kind)));
+}
+
+}  // namespace rrb

@@ -9,7 +9,6 @@
 #include "rrb/common/types.hpp"
 #include "rrb/graph/graph.hpp"
 #include "rrb/phonecall/channel_sampler.hpp"
-#include "rrb/phonecall/edge_ids.hpp"
 #include "rrb/phonecall/failure_models.hpp"
 #include "rrb/phonecall/protocol.hpp"
 #include "rrb/phonecall/result.hpp"
@@ -30,9 +29,21 @@
 /// The engine is a template over a Topology, so the same round loop drives
 /// static graphs (Graph) and the dynamic churn overlay (p2p), and run() is
 /// additionally a template over the protocol (see ProtocolImpl in
-/// protocol.hpp), so concrete protocols dispatch at compile time — the
-/// per-node inner loop pays no virtual calls, no std::function calls, and
-/// no per-access bounds checks (see the unchecked topology views below).
+/// protocol.hpp) and over an optional metric observer — concrete protocols
+/// and observers dispatch at compile time, so the per-node inner loop pays
+/// no virtual calls, no std::function calls, and no per-access bounds
+/// checks (see the unchecked topology views below).
+///
+/// Measurement is NOT hardwired here: beyond the RunResult counters that
+/// are part of the library's recorded-output contract, every quantity an
+/// experiment tracks (set sizes, h_i(t), edge usage, per-node
+/// distributions) lives in a metric observer (rrb/metrics/observer.hpp).
+/// run() detects each observer hook with `requires`, the same mechanism
+/// used for optional protocol hooks, so a run without observers compiles
+/// to the identical loop and an attached observer adds only the hooks it
+/// defines. Observers are read-only and draw no randomness — attaching any
+/// stack leaves the run's draw sequence and RunResult bit-identical
+/// (ROADMAP.md observer invariant; pinned by tests/test_metrics.cpp).
 ///
 /// Determinism: the order of RNG draws inside run() is part of the
 /// library's output contract (ROADMAP.md "seeding contract";
@@ -81,14 +92,20 @@ class GraphTopology {
   const Graph* g_;
 };
 
-/// Observer invoked at the end of every round with the informed_at array
-/// (kNever = still uninformed). Used by the experiment harness to measure
-/// set sizes (|I+(t)|, h_i(t), U(t), ...) without touching engine internals.
-using RoundObserver =
-    std::function<void(Round t, std::span<const Round> informed_at)>;
-
 /// Hook invoked between rounds; may mutate a dynamic topology (churn).
+/// This is the one intentionally *mutating* hook — everything read-only
+/// belongs in a metric observer instead.
 using RoundHook = std::function<void(Round t)>;
+
+namespace detail {
+
+/// The default observer: no hooks, so every observer call site in run()
+/// compiles away and the loop is byte-for-byte the pre-observer engine.
+struct NoMetrics {
+  [[nodiscard]] const char* name() const { return "none"; }
+};
+
+}  // namespace detail
 
 template <Topology TopologyT>
 class PhoneCallEngine {
@@ -102,11 +119,6 @@ class PhoneCallEngine {
                 "failure_prob out of [0,1]");
     RRB_REQUIRE(!(config_.quasirandom && config_.memory > 0),
                 "quasirandom and memory are mutually exclusive");
-  }
-
-  /// Observe informed sets after each round.
-  void set_round_observer(RoundObserver observer) {
-    observer_ = std::move(observer);
   }
 
   /// Mutate the topology between rounds (churn). Newly joined nodes start
@@ -124,19 +136,6 @@ class PhoneCallEngine {
   /// fails if either this predicate or ChannelConfig::failure_prob fires.
   void set_failure_model(FailurePredicate model) {
     failure_model_ = std::move(model);
-  }
-
-  /// Track which undirected edges have carried at least one transmission
-  /// (for the Lemma 4 experiment). Graph topologies only; the map must
-  /// match the engine's topology.
-  void enable_edge_usage_tracking(const EdgeIdMap& map) {
-    edge_ids_ = &map;
-    edge_used_.assign(map.num_edges, 0);
-  }
-
-  /// Edge usage bitmap (valid after run() when tracking is enabled).
-  [[nodiscard]] const std::vector<std::uint8_t>& edge_used() const {
-    return edge_used_;
   }
 
   /// Informed rounds per node after run() (kNever = never informed).
@@ -177,7 +176,25 @@ class PhoneCallEngine {
 
   template <ProtocolImpl ProtocolT>
   RunResult run(ProtocolT& protocol, std::span<const NodeId> sources,
-                const RunLimits& limits);
+                const RunLimits& limits) {
+    detail::NoMetrics none;
+    return run(protocol, sources, limits, none);
+  }
+
+  /// Instrumented runs: `observers` is any metric observer (typically an
+  /// ObserverSet composing several; see rrb/metrics/observer.hpp for the
+  /// hook vocabulary and the read-only contract). Hooks are detected per
+  /// observer type with `requires` and inlined into the round loop.
+  template <ProtocolImpl ProtocolT, typename ObserverT>
+  RunResult run(ProtocolT& protocol, NodeId source, const RunLimits& limits,
+                ObserverT& observers) {
+    return run(protocol, std::span<const NodeId>(&source, 1), limits,
+               observers);
+  }
+
+  template <ProtocolImpl ProtocolT, typename ObserverT>
+  RunResult run(ProtocolT& protocol, std::span<const NodeId> sources,
+                const RunLimits& limits, ObserverT& observers);
 
  private:
   [[nodiscard]] NodeId neighbor_of(NodeId v, NodeId i) const {
@@ -187,7 +204,6 @@ class PhoneCallEngine {
   TopologyT* topo_;
   ChannelConfig config_;
   Rng* rng_;
-  RoundObserver observer_;
   RoundHook hook_;
   FailurePredicate failure_model_;
 
@@ -206,16 +222,14 @@ class PhoneCallEngine {
   std::vector<NodeId> choice_buf_;
   std::vector<NodeId> partner_buf_;
   std::vector<NodeId> newly_;
-
-  const EdgeIdMap* edge_ids_ = nullptr;
-  std::vector<std::uint8_t> edge_used_;
 };
 
 template <Topology TopologyT>
-template <ProtocolImpl ProtocolT>
+template <ProtocolImpl ProtocolT, typename ObserverT>
 RunResult PhoneCallEngine<TopologyT>::run(ProtocolT& protocol,
                                           std::span<const NodeId> sources,
-                                          const RunLimits& limits) {
+                                          const RunLimits& limits,
+                                          ObserverT& observers) {
   const NodeId n = topo_->num_slots();
   RRB_REQUIRE(n >= 1, "empty topology");
   RRB_REQUIRE(!sources.empty(), "need at least one source");
@@ -223,11 +237,6 @@ RunResult PhoneCallEngine<TopologyT>::run(ProtocolT& protocol,
   informed_at_.assign(n, kNever);
   action_.assign(n, Action::kNone);
   sampler_.prepare(config_, n);
-  if (edge_ids_ != nullptr) {
-    RRB_REQUIRE(edge_ids_->slot_offsets.size() == n + 1U,
-                "edge id map does not match topology");
-    edge_used_.assign(edge_ids_->num_edges, 0);
-  }
 
   if constexpr (requires { protocol.reset(n); }) protocol.reset(n);
   Count informed = 0;
@@ -240,6 +249,9 @@ RunResult PhoneCallEngine<TopologyT>::run(ProtocolT& protocol,
     }
   }
   informed_alive_ = informed;
+
+  if constexpr (requires { observers.on_run_begin(n, sources); })
+    observers.on_run_begin(n, sources);
 
   RunResult result;
   result.n = n;
@@ -254,8 +266,6 @@ RunResult PhoneCallEngine<TopologyT>::run(ProtocolT& protocol,
   // or per channel in the inner loop.
   const bool has_failure_prob = config_.failure_prob > 0.0;
   const bool has_failure_model = static_cast<bool>(failure_model_);
-  const bool track_edges = edge_ids_ != nullptr;
-  const bool has_observer = static_cast<bool>(observer_);
   const bool has_hook = static_cast<bool>(hook_);
   const bool has_memory = config_.memory > 0;
 
@@ -264,6 +274,8 @@ RunResult PhoneCallEngine<TopologyT>::run(ProtocolT& protocol,
     ++t;
     if constexpr (requires { protocol.on_round_start(t); })
       protocol.on_round_start(t);
+    if constexpr (requires { observers.on_round_begin(t); })
+      observers.on_round_begin(t);
     RoundStats round{};
     round.t = t;
 
@@ -306,8 +318,6 @@ RunResult PhoneCallEngine<TopologyT>::run(ProtocolT& protocol,
         const bool pull_here = does_pull(action_[w]);
         if (!push_here && !pull_here) continue;
 
-        if (track_edges) edge_used_[edge_ids_->edge_of(v, edge_idx)] = 1;
-
         auto deliver = [&](NodeId to, NodeId from, bool is_push) {
           MessageMeta meta;
           if constexpr (requires { protocol.stamp(from, t); })
@@ -326,6 +336,21 @@ RunResult PhoneCallEngine<TopologyT>::run(ProtocolT& protocol,
             ++informed_alive_;
             newly_.push_back(to);
           }
+          if constexpr (requires(const TransmissionEvent& event) {
+                          observers.on_transmission(event);
+                        })
+            observers.on_transmission(TransmissionEvent{
+                .t = t,
+                .caller = v,
+                .edge_index = edge_idx,
+                .from = from,
+                .to = to,
+                .is_push = is_push,
+                .first_time = first,
+            });
+          if (first)
+            if constexpr (requires { observers.on_node_informed(to, t); })
+              observers.on_node_informed(to, t);
         };
         if (push_here) deliver(w, v, /*is_push=*/true);
         if (pull_here) deliver(v, w, /*is_push=*/false);
@@ -345,8 +370,11 @@ RunResult PhoneCallEngine<TopologyT>::run(ProtocolT& protocol,
     result.channels_failed += round.channels_failed;
     if (limits.record_rounds) result.per_round.push_back(round);
 
-    if (has_observer)
-      observer_(t, std::span<const Round>(informed_at_.data(), n));
+    if constexpr (requires(std::span<const Round> ia) {
+                    observers.on_round_end(round, ia);
+                  })
+      observers.on_round_end(
+          round, std::span<const Round>(informed_at_.data(), n));
 
     const Count alive = topo_->num_alive();
     // Completion: every alive node informed. informed_alive_ is maintained
@@ -375,6 +403,12 @@ RunResult PhoneCallEngine<TopologyT>::run(ProtocolT& protocol,
     if (topo_->is_alive(v) && informed_at_[v] != kNever) ++final_informed;
   result.final_informed = final_informed;
   result.all_informed = final_informed >= result.alive_at_end;
+
+  if constexpr (requires(std::span<const Round> ia) {
+                  observers.on_run_end(result, ia);
+                })
+    observers.on_run_end(result,
+                         std::span<const Round>(informed_at_.data(), n));
   return result;
 }
 

@@ -13,6 +13,24 @@
 
 namespace rrb {
 
+/// One delivered copy of the message, as reported to metric observers
+/// (rrb/metrics/observer.hpp). `caller`/`edge_index` name the channel the
+/// copy travelled on — (caller, edge_index) addresses an adjacency slot, so
+/// EdgeIdMap::edge_of resolves it to an undirected edge id — while
+/// `from`/`to` give the transfer direction: from == caller for a push,
+/// from == callee for a pull. Observers see identities because they are
+/// measurement, not protocol: the address-oblivious restriction (§1.2)
+/// structurally binds protocol callbacks only.
+struct TransmissionEvent {
+  Round t = 0;
+  NodeId caller = kNoNode;      ///< node that opened the channel
+  NodeId edge_index = 0;        ///< index of the channel in caller's adjacency
+  NodeId from = kNoNode;        ///< sender of this copy
+  NodeId to = kNoNode;          ///< receiver of this copy
+  bool is_push = false;         ///< caller -> callee (else callee -> caller)
+  bool first_time = false;      ///< `to` had never held the message before
+};
+
 /// Per-round counters.
 struct RoundStats {
   Round t = 0;

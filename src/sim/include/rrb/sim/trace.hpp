@@ -15,6 +15,13 @@
 /// quantities the paper's analysis tracks: |I(t)|, |I+(t)|, h(t) = |H(t)|,
 /// and h_i(t) = |{v in H(t) : v has >= i neighbours in H(t)}| for i = 1,4,5.
 ///
+/// Measurement runs through the metric-observer pipeline
+/// (SetSizeObserver / HSetObserver / EdgeUsageObserver in
+/// rrb/metrics/observers.hpp) — this driver only schedules trials and
+/// averages their per-round series. The observer migration is value-exact:
+/// tests/test_metrics.cpp pins the traced numbers against values captured
+/// from the pre-observer engine path.
+///
 /// Trials run on the deterministic parallel runner (rrb/sim/runner.hpp):
 /// each trial records its own per-round trace from Rng(seed).fork(trial),
 /// and the traces are averaged in trial order afterwards, so the result is

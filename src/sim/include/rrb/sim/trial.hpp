@@ -2,16 +2,22 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "rrb/common/runner_config.hpp"
 #include "rrb/core/broadcast.hpp"
+#include "rrb/core/scheme_dispatch.hpp"
 #include "rrb/graph/graph.hpp"
+#include "rrb/metrics/observer.hpp"
 #include "rrb/phonecall/engine.hpp"
 #include "rrb/phonecall/protocol.hpp"
 #include "rrb/phonecall/result.hpp"
 #include "rrb/rng/rng.hpp"
 #include "rrb/sim/aggregate.hpp"
+#include "rrb/sim/runner.hpp"
 
 /// \file trial.hpp
 /// Repeated-trial experiment driver: regenerates the random graph per trial
@@ -22,6 +28,13 @@
 /// trial i draws every random bit from Rng(seed).fork(i) and results are
 /// reduced in trial order, so the outcome is bit-identical for any
 /// RunnerConfig — the sequential path is just threads = 1.
+///
+/// Every driver has an observer-aware overload: pass a factory building a
+/// fresh MetricObserver per trial (rrb/metrics/observer.hpp) and get the
+/// observers back *in trial order* next to the usual TrialOutcome.
+/// Observers are read-only and draw nothing, so the instrumented overloads
+/// return byte-identical TrialOutcomes to the bare ones — the observers are
+/// pure extra columns (pinned in tests/test_metrics.cpp).
 
 namespace rrb {
 
@@ -55,6 +68,9 @@ struct TrialOutcome {
   Summary tx_per_node;
   Summary push_tx;
   Summary pull_tx;
+  Summary coverage;          ///< final_informed / n per run (< 1 when a
+                             ///< self-terminating scheme leaves stragglers,
+                             ///< e.g. under channel failures)
   double completion_rate = 0.0;  ///< fraction of runs informing everyone
 };
 
@@ -70,5 +86,113 @@ struct TrialOutcome {
 [[nodiscard]] TrialOutcome broadcast_trials(const Graph& graph,
                                             const BroadcastOptions& options,
                                             NodeId source = kNoNode);
+
+/// An instrumented trial sweep: the usual TrialOutcome (byte-identical to
+/// the bare overload's) plus one observer per trial, in trial order — the
+/// shape the seeding contract demands for any reduction over them.
+template <MetricObserver Obs>
+struct ObservedOutcome {
+  TrialOutcome outcome;
+  std::vector<Obs> observers;  ///< indexed by trial
+};
+
+namespace detail {
+
+/// Reduce per-trial RunResults, already in trial order, into a
+/// TrialOutcome. The same reduction the bare drivers apply chunk-wise —
+/// samples enter each Summary in ascending trial order either way, so both
+/// paths produce byte-identical outcomes.
+[[nodiscard]] TrialOutcome reduce_runs(std::vector<RunResult>&& runs);
+
+}  // namespace detail
+
+/// Observer-aware run_trials: `make_observer(graph)` builds the trial's
+/// observer before the run; the engine fires its hooks from inside the
+/// round loop. Randomness is untouched — trial i still draws exactly
+/// Rng(config.seed).fork(i) in the bare overload's order.
+template <typename MakeObserver,
+          MetricObserver Obs =
+              std::invoke_result_t<const MakeObserver&, const Graph&>>
+[[nodiscard]] ObservedOutcome<Obs> run_trials(
+    const GraphFactory& graph_factory,
+    const ProtocolFactory& protocol_factory, const TrialConfig& config,
+    const MakeObserver& make_observer) {
+  RRB_REQUIRE(config.trials >= 1, "need at least one trial");
+  const auto trials = static_cast<std::size_t>(config.trials);
+  std::vector<RunResult> runs(trials);
+  std::vector<std::optional<Obs>> slots(trials);
+
+  ParallelRunner runner(config.runner);
+  runner.for_each_trial(config.trials, [&](int trial) {
+    Rng rng = Rng(config.seed).fork(static_cast<std::uint64_t>(trial));
+    const Graph graph = graph_factory(rng);
+    RRB_REQUIRE(graph.num_nodes() >= 2, "trial graph too small");
+    auto protocol = protocol_factory(graph);
+    RRB_REQUIRE(protocol != nullptr, "protocol factory returned null");
+    Obs observers = make_observer(graph);
+
+    GraphTopology topo(graph);
+    PhoneCallEngine<GraphTopology> engine(topo, config.channel, rng);
+    const NodeId source =
+        config.random_source
+            ? static_cast<NodeId>(rng.uniform_u64(graph.num_nodes()))
+            : 0;
+    runs[static_cast<std::size_t>(trial)] =
+        engine.run(*protocol, source, config.limits, observers);
+    slots[static_cast<std::size_t>(trial)] = std::move(observers);
+  });
+
+  ObservedOutcome<Obs> observed;
+  observed.outcome = detail::reduce_runs(std::move(runs));
+  observed.observers.reserve(trials);
+  for (std::optional<Obs>& slot : slots)
+    observed.observers.push_back(std::move(*slot));
+  return observed;
+}
+
+/// Observer-aware broadcast_trials: the facade sweep with a per-trial
+/// observer. Same draw order as the bare overload; the scheme's protocol
+/// is statically dispatched per trial exactly as there.
+template <typename MakeObserver,
+          MetricObserver Obs =
+              std::invoke_result_t<const MakeObserver&, const Graph&>>
+[[nodiscard]] ObservedOutcome<Obs> broadcast_trials(
+    const Graph& graph, const BroadcastOptions& options,
+    const MakeObserver& make_observer, NodeId source = kNoNode) {
+  RRB_REQUIRE(options.trials >= 1, "need at least one trial");
+  RRB_REQUIRE(source == kNoNode || source < graph.num_nodes(),
+              "source out of range");
+  RunLimits limits;
+  limits.max_rounds = options.max_rounds;
+  limits.record_rounds = options.record_rounds;
+
+  const auto trials = static_cast<std::size_t>(options.trials);
+  std::vector<RunResult> runs(trials);
+  std::vector<std::optional<Obs>> slots(trials);
+
+  ParallelRunner runner(options.runner);
+  runner.for_each_trial(options.trials, [&](int trial) {
+    Rng rng = Rng(options.seed).fork(static_cast<std::uint64_t>(trial));
+    Obs observers = make_observer(graph);
+    runs[static_cast<std::size_t>(trial)] = with_scheme(
+        graph, options, [&](auto proto, const ChannelConfig& channel) {
+          GraphTopology topo(graph);
+          PhoneCallEngine<GraphTopology> engine(topo, channel, rng);
+          const NodeId from =
+              source != kNoNode
+                  ? source
+                  : static_cast<NodeId>(rng.uniform_u64(graph.num_nodes()));
+          return engine.run(proto, from, limits, observers);
+        });
+    slots[static_cast<std::size_t>(trial)] = std::move(observers);
+  });
+
+  ObservedOutcome<Obs> observed;
+  observed.outcome = detail::reduce_runs(std::move(runs));
+  observed.observers.reserve(trials);
+  for (std::optional<Obs>& slot : slots)
+    observed.observers.push_back(std::move(*slot));
+  return observed;
+}
 
 }  // namespace rrb

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "rrb/common/check.hpp"
+#include "rrb/metrics/observers.hpp"
 #include "rrb/phonecall/edge_ids.hpp"
 #include "rrb/sim/runner.hpp"
 
@@ -10,41 +11,17 @@ namespace rrb {
 
 namespace {
 
-/// Count, for every node of H(t), its neighbours inside H(t), and bucket
-/// into h1/h4/h5. Also counts |U(t)| from the edge-usage bitmap if given.
-void measure_sets(const Graph& g, std::span<const Round> informed_at,
-                  const std::vector<std::uint8_t>* edge_used,
-                  const EdgeIdMap* edge_ids, SetTracePoint& point) {
-  const NodeId n = g.num_nodes();
-  Count h1 = 0, h4 = 0, h5 = 0;
-  for (NodeId v = 0; v < n; ++v) {
-    if (informed_at[v] != kNever) continue;
-    NodeId inside = 0;
-    for (const NodeId w : g.neighbors(v))
-      if (informed_at[w] == kNever) ++inside;
-    if (inside >= 1) ++h1;
-    if (inside >= 4) ++h4;
-    if (inside >= 5) ++h5;
-  }
-  point.h1 += static_cast<double>(h1);
-  point.h4 += static_cast<double>(h4);
-  point.h5 += static_cast<double>(h5);
-
-  if (edge_used != nullptr && edge_ids != nullptr) {
-    Count unused_nodes = 0;
-    for (NodeId v = 0; v < n; ++v) {
-      const NodeId d = g.degree(v);
-      bool has_unused = false;
-      for (NodeId i = 0; i < d && !has_unused; ++i)
-        if (!(*edge_used)[edge_ids->edge_of(v, i)]) has_unused = true;
-      if (has_unused) ++unused_nodes;
-    }
-    point.unused_edge_nodes += static_cast<double>(unused_nodes);
-  }
-}
-
 /// One trial's raw per-round values (not yet averaged). A pure function of
 /// (config, trial index): all randomness comes from Rng(seed).fork(trial).
+///
+/// Measurement is entirely observer-side (rrb/metrics/observers.hpp): the
+/// engine runs with an ObserverSet of SetSizeObserver (always), HSetObserver
+/// and EdgeUsageObserver (each disabled via null topology pointers when the
+/// config does not ask for it), and the observers' per-round series are
+/// zipped into SetTracePoints afterwards. Observers draw no randomness, so
+/// the trial's draw sequence — and therefore every traced value — is
+/// bit-identical to the pre-observer engine path (pinned in
+/// tests/test_metrics.cpp, TraceGolden).
 std::vector<SetTracePoint> trace_one_trial(
     const TraceGraphFactory& graph_factory,
     const TraceProtocolFactory& protocol_factory, const TraceConfig& config,
@@ -57,36 +34,39 @@ std::vector<SetTracePoint> trace_one_trial(
   PhoneCallEngine<GraphTopology> engine(topo, config.channel, rng);
 
   EdgeIdMap edge_ids;
-  if (config.track_edge_usage) {
-    edge_ids = build_edge_id_map(graph);
-    engine.enable_edge_usage_tracking(edge_ids);
-  }
+  if (config.track_edge_usage) edge_ids = build_edge_id_map(graph);
 
-  std::vector<SetTracePoint> local;
-  Count last_informed = 1;  // the source is informed before round 1
-  engine.set_round_observer([&](Round t, std::span<const Round> informed) {
-    const auto idx = static_cast<std::size_t>(t - 1);
-    if (local.size() <= idx) local.resize(idx + 1);
-    SetTracePoint& point = local[idx];
-    point.t = t;
-    Count informed_count = 0;
-    for (const Round r : informed)
-      if (r != kNever) ++informed_count;
-    point.informed += static_cast<double>(informed_count);
-    point.newly_informed +=
-        static_cast<double>(informed_count - last_informed);
-    point.uninformed +=
-        static_cast<double>(graph.num_nodes() - informed_count);
-    last_informed = informed_count;
-    if (config.track_h_sets || config.track_edge_usage)
-      measure_sets(graph, informed,
-                   config.track_edge_usage ? &engine.edge_used() : nullptr,
-                   config.track_edge_usage ? &edge_ids : nullptr, point);
-  });
+  ObserverSet observers(
+      SetSizeObserver{},
+      HSetObserver(config.track_h_sets ? &graph : nullptr),
+      EdgeUsageObserver(config.track_edge_usage ? &graph : nullptr,
+                        config.track_edge_usage ? &edge_ids : nullptr,
+                        /*record_per_round=*/true));
 
   const NodeId source =
       static_cast<NodeId>(rng.uniform_u64(graph.num_nodes()));
-  (void)engine.run(*protocol, source, config.limits);
+  (void)engine.run(*protocol, source, config.limits, observers);
+
+  const auto& sizes = observers.get<SetSizeObserver>().points();
+  const auto& hsets = observers.get<HSetObserver>().points();
+  const auto& unused =
+      observers.get<EdgeUsageObserver>().unused_edge_nodes_per_round();
+
+  std::vector<SetTracePoint> local(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    SetTracePoint& point = local[i];
+    point.t = sizes[i].t;
+    point.informed = static_cast<double>(sizes[i].informed);
+    point.newly_informed = static_cast<double>(sizes[i].newly_informed);
+    point.uninformed = static_cast<double>(sizes[i].uninformed);
+    if (config.track_h_sets) {
+      point.h1 = static_cast<double>(hsets[i].h1);
+      point.h4 = static_cast<double>(hsets[i].h4);
+      point.h5 = static_cast<double>(hsets[i].h5);
+    }
+    if (config.track_edge_usage)
+      point.unused_edge_nodes = static_cast<double>(unused[i]);
+  }
   return local;
 }
 

@@ -41,6 +41,7 @@ struct Partials {
   SummaryAccumulator tx_per_node;
   SummaryAccumulator push_tx;
   SummaryAccumulator pull_tx;
+  SummaryAccumulator coverage;
   int completed = 0;
 
   void add(RunResult&& run) {
@@ -49,6 +50,9 @@ struct Partials {
     tx_per_node.add(run.tx_per_node());
     push_tx.add(static_cast<double>(run.push_tx));
     pull_tx.add(static_cast<double>(run.pull_tx));
+    coverage.add(run.n == 0 ? 0.0
+                            : static_cast<double>(run.final_informed) /
+                                  static_cast<double>(run.n));
     if (run.all_informed) {
       ++completed;
       completion.add(static_cast<double>(run.completion_round));
@@ -65,6 +69,7 @@ struct Partials {
     tx_per_node.merge(other.tx_per_node);
     push_tx.merge(other.push_tx);
     pull_tx.merge(other.pull_tx);
+    coverage.merge(other.coverage);
     completed += other.completed;
   }
 
@@ -77,6 +82,7 @@ struct Partials {
     outcome.tx_per_node = tx_per_node.finish();
     outcome.push_tx = push_tx.finish();
     outcome.pull_tx = pull_tx.finish();
+    outcome.coverage = coverage.finish();
     outcome.completion_rate =
         static_cast<double>(completed) / static_cast<double>(trials);
     return outcome;
@@ -103,6 +109,17 @@ TrialOutcome reduce_trials(int trials, const RunnerConfig& runner_config,
 }
 
 }  // namespace
+
+namespace detail {
+
+TrialOutcome reduce_runs(std::vector<RunResult>&& runs) {
+  Partials all;
+  const int trials = static_cast<int>(runs.size());
+  for (RunResult& run : runs) all.add(std::move(run));
+  return std::move(all).finish(trials);
+}
+
+}  // namespace detail
 
 TrialOutcome run_trials(const GraphFactory& graph_factory,
                         const ProtocolFactory& protocol_factory,

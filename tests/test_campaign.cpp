@@ -500,6 +500,128 @@ TEST(CampaignDeterminism, RefusesHeaderlessManifestWithRecords) {
                std::runtime_error);
 }
 
+// ---- Metrics axis ----------------------------------------------------------
+
+TEST(CampaignMetrics, SpecParsesValidatesAndFingerprints) {
+  CampaignSpec spec = tiny_spec();
+  EXPECT_TRUE(spec.metrics.empty());
+  const std::uint64_t plain_fingerprint = spec_fingerprint(spec);
+  // No metrics line when empty: pre-metrics campaign fingerprints survive.
+  EXPECT_EQ(describe(spec).find("metrics"), std::string::npos);
+
+  apply_setting(spec, "metrics", "tx-histogram, latency");
+  ASSERT_EQ(spec.metrics.size(), 2U);
+  EXPECT_EQ(spec.metrics[0], MetricKind::kTxHistogram);
+  EXPECT_EQ(spec.metrics[1], MetricKind::kInformedLatency);
+  EXPECT_NE(describe(spec).find("metrics = tx-histogram, latency"),
+            std::string::npos);
+  // Metric selection changes the record schema, so it must change the
+  // fingerprint (resuming a metric-less manifest would emit mixed rows).
+  EXPECT_NE(spec_fingerprint(spec), plain_fingerprint);
+
+  apply_setting(spec, "metrics", "none");
+  EXPECT_TRUE(spec.metrics.empty());
+  EXPECT_EQ(spec_fingerprint(spec), plain_fingerprint);
+
+  EXPECT_THROW(apply_setting(spec, "metrics", "warp-speed"),
+               std::runtime_error);
+  EXPECT_THROW(apply_setting(spec, "metrics", "latency, latency"),
+               std::runtime_error);
+}
+
+TEST(CampaignMetrics, ColumnsAppendWithoutChangingBaseValuesOrKeys) {
+  // Observers are read-only: switching metrics on must keep every base
+  // column byte-identical and only append digest columns — on the static
+  // run_trials path and the churn overlay path alike.
+  const CampaignSpec plain = tiny_spec();
+  CampaignSpec with_metrics = tiny_spec();
+  with_metrics.metrics = {MetricKind::kTxHistogram,
+                          MetricKind::kInformedLatency};
+
+  const auto plain_cells = expand_cells(plain);
+  const auto metric_cells = expand_cells(with_metrics);
+  ASSERT_EQ(plain_cells.size(), metric_cells.size());
+  for (std::size_t i = 0; i < plain_cells.size(); ++i) {
+    EXPECT_EQ(metric_cells[i].key, plain_cells[i].key);
+    EXPECT_EQ(metric_cells[i].seed, plain_cells[i].seed);
+
+    const JsonObject base =
+        CampaignRunner::run_cell(plain, plain_cells[i], {});
+    const JsonObject extended =
+        CampaignRunner::run_cell(with_metrics, metric_cells[i], {});
+    SCOPED_TRACE(plain_cells[i].key);
+    // Every base field survives, in order, with identical rendered bytes.
+    ASSERT_GE(extended.fields().size(), base.fields().size());
+    for (std::size_t f = 0; f < base.fields().size(); ++f) {
+      EXPECT_EQ(extended.fields()[f].key, base.fields()[f].key);
+      EXPECT_EQ(extended.fields()[f].json, base.fields()[f].json);
+    }
+    // And the digest columns arrive for both metrics.
+    EXPECT_TRUE(extended.find_number("tx_node_p90_mean").has_value());
+    EXPECT_TRUE(extended.find_number("latency_p90_mean").has_value());
+    EXPECT_FALSE(base.find_number("tx_node_p90_mean").has_value());
+  }
+}
+
+TEST(CampaignMetrics, MetricColumnsAreDeterministicAcrossRunnerConfigs) {
+  CampaignSpec spec = tiny_spec();
+  spec.metrics = {MetricKind::kTxHistogram, MetricKind::kInformedLatency};
+  const auto cells = expand_cells(spec);
+  for (const CampaignCell& cell : cells) {  // covers static + churn paths
+    RunnerConfig one;
+    one.threads = 1;
+    RunnerConfig eight;
+    eight.threads = 8;
+    RunnerConfig chunked;
+    chunked.threads = 2;
+    chunked.chunk = 2;
+    const std::string baseline =
+        CampaignRunner::run_cell(spec, cell, one).to_line();
+    EXPECT_EQ(CampaignRunner::run_cell(spec, cell, eight).to_line(), baseline)
+        << cell.key;
+    EXPECT_EQ(CampaignRunner::run_cell(spec, cell, chunked).to_line(),
+              baseline)
+        << cell.key;
+  }
+}
+
+// ---- Timing side channel ---------------------------------------------------
+
+TEST(CampaignTiming, SideChannelRecordsComputedCellsOnly) {
+  const CampaignSpec spec = tiny_spec();
+  const std::string dir = temp_dir("timing");
+  CampaignConfig config;
+  config.runner.threads = 2;
+  config.out_dir = dir;
+  const CampaignOutcome first = CampaignRunner(spec, config).run();
+  ASSERT_FALSE(first.timing_path.empty());
+
+  const auto count_lines = [](const std::string& text) {
+    std::size_t lines = 0;
+    for (const char c : text)
+      if (c == '\n') ++lines;
+    return lines;
+  };
+  const std::string after_first = read_file(first.timing_path);
+  EXPECT_EQ(count_lines(after_first), 4U);  // one per computed cell
+  // Each line parses and names a cell of this campaign, with a wall time.
+  std::istringstream lines(after_first);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto parsed = parse_flat_json(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    EXPECT_TRUE(parsed->find_plain("key").has_value());
+    EXPECT_TRUE(parsed->find_number("wall_ms").has_value());
+    EXPECT_TRUE(parsed->find_number("trials_per_s").has_value());
+  }
+
+  // A resume computes nothing, so the side channel grows by nothing — and
+  // the deterministic artifacts ignore it entirely.
+  const CampaignOutcome resumed = CampaignRunner(spec, config).run();
+  EXPECT_EQ(resumed.computed, 0U);
+  EXPECT_EQ(count_lines(read_file(resumed.timing_path)), 4U);
+}
+
 TEST(CampaignDeterminism, InMemoryRunMatchesPersistedRecords) {
   const CampaignSpec spec = tiny_spec();
   const ArtifactBytes persisted = run_to_dir(spec, temp_dir("disk"), 2);

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "rrb/graph/generators.hpp"
+#include "rrb/metrics/observers.hpp"
+#include "rrb/phonecall/edge_ids.hpp"
 #include "rrb/protocols/baselines.hpp"
 
 namespace rrb {
@@ -322,56 +324,65 @@ TEST(Engine, MaxRoundsCapIsHonoured) {
   EXPECT_EQ(r.rounds, 5);
 }
 
+/// Minimal hand-written observer, exercising the raw hook interface the
+/// way rrb/metrics observers do (the library observers have their own
+/// suite in tests/test_metrics.cpp).
+struct RoundWatcher {
+  [[nodiscard]] const char* name() const { return "round-watcher"; }
+  int calls = 0;
+  Count last_count = 0;
+  void on_round_end(const RoundStats& stats,
+                    std::span<const Round> informed_at) {
+    ++calls;
+    EXPECT_EQ(stats.t, calls);
+    Count informed = 0;
+    for (const Round r : informed_at)
+      if (r != kNever) ++informed;
+    EXPECT_GE(informed, last_count);
+    last_count = informed;
+  }
+};
+
 TEST(Engine, ObserverSeesEveryRound) {
   const Graph g = complete(8);
   GraphTopology topo(g);
   Rng rng(15);
   PhoneCallEngine<GraphTopology> engine(topo, ChannelConfig{}, rng);
   PushProtocol push;
-  int calls = 0;
-  Count last_count = 0;
-  engine.set_round_observer([&](Round t, std::span<const Round> informed_at) {
-    ++calls;
-    EXPECT_EQ(t, calls);
-    Count informed = 0;
-    for (const Round r : informed_at)
-      if (r != kNever) ++informed;
-    EXPECT_GE(informed, last_count);
-    last_count = informed;
-  });
-  const RunResult r = engine.run(push, NodeId{0}, RunLimits{});
-  EXPECT_EQ(calls, r.rounds);
-  EXPECT_EQ(last_count, r.final_informed);
+  RoundWatcher watcher;
+  const RunResult r = engine.run(push, NodeId{0}, RunLimits{}, watcher);
+  EXPECT_EQ(watcher.calls, r.rounds);
+  EXPECT_EQ(watcher.last_count, r.final_informed);
 }
 
-TEST(Engine, EdgeUsageTrackingMarksUsedEdges) {
+TEST(Engine, EdgeUsageObserverMarksUsedEdges) {
   const Graph g = path(3);
   const EdgeIdMap map = build_edge_id_map(g);
   GraphTopology topo(g);
   Rng rng(16);
   PhoneCallEngine<GraphTopology> engine(topo, ChannelConfig{}, rng);
-  engine.enable_edge_usage_tracking(map);
+  EdgeUsageObserver usage(&g, &map);
   PushProtocol push;
-  const RunResult r = engine.run(push, NodeId{0}, RunLimits{});
+  const RunResult r = engine.run(push, NodeId{0}, RunLimits{}, usage);
   ASSERT_TRUE(r.all_informed);
   // Both edges carried the message.
-  EXPECT_EQ(engine.edge_used().size(), 2U);
-  EXPECT_EQ(engine.edge_used()[0], 1);
-  EXPECT_EQ(engine.edge_used()[1], 1);
+  EXPECT_EQ(usage.used().size(), 2U);
+  EXPECT_EQ(usage.used()[0], 1);
+  EXPECT_EQ(usage.used()[1], 1);
 }
 
-TEST(Engine, EdgeUsageNotMarkedWithoutTransmission) {
+TEST(Engine, EdgeUsageObserverNotMarkedWithoutTransmission) {
   const Graph g = complete(4);
   const EdgeIdMap map = build_edge_id_map(g);
   GraphTopology topo(g);
   Rng rng(17);
   PhoneCallEngine<GraphTopology> engine(topo, ChannelConfig{}, rng);
-  engine.enable_edge_usage_tracking(map);
+  EdgeUsageObserver usage(&g, &map);
   SilentProtocol silent;
   RunLimits limits;
   limits.max_rounds = 10;
-  (void)engine.run(silent, NodeId{0}, limits);
-  for (const auto used : engine.edge_used()) EXPECT_EQ(used, 0);
+  (void)engine.run(silent, NodeId{0}, limits, usage);
+  for (const auto used : usage.used()) EXPECT_EQ(used, 0);
 }
 
 TEST(Engine, SelfLoopTransmissionIsCountedButInformsNobody) {

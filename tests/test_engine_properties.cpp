@@ -199,34 +199,42 @@ TEST_P(ConfigModelInvariants, InformedSetMonotoneAndConsistent) {
 
   // Monotonicity: informed nodes stay informed with an unchanged stamp,
   // new stamps always equal the current round, |I(t)| never shrinks.
-  std::vector<Round> previous(n, kNever);
-  previous[0] = 0;  // the source below
-  Count previous_count = 1;
-  Round last_round = 0;
-  engine.set_round_observer([&](Round t, std::span<const Round> informed) {
-    EXPECT_EQ(t, last_round + 1);
-    last_round = t;
-    Count count = 0;
-    for (NodeId v = 0; v < n; ++v) {
-      if (previous[v] != kNever) {
-        EXPECT_EQ(informed[v], previous[v]);
-      } else if (informed[v] != kNever) {
-        EXPECT_EQ(informed[v], t);
+  // Checked from a hand-written metric observer — the hook stream is the
+  // supported way to watch engine state evolve round by round.
+  struct MonotonicityChecker {
+    NodeId n;
+    std::vector<Round> previous;
+    Count previous_count = 1;
+    Round last_round = 0;
+    [[nodiscard]] const char* name() const { return "monotonicity"; }
+    void on_round_end(const RoundStats& stats,
+                      std::span<const Round> informed) {
+      EXPECT_EQ(stats.t, last_round + 1);
+      last_round = stats.t;
+      Count count = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        if (previous[v] != kNever) {
+          EXPECT_EQ(informed[v], previous[v]);
+        } else if (informed[v] != kNever) {
+          EXPECT_EQ(informed[v], stats.t);
+        }
+        if (informed[v] != kNever) ++count;
+        previous[v] = informed[v];
       }
-      if (informed[v] != kNever) ++count;
-      previous[v] = informed[v];
+      EXPECT_GE(count, previous_count);
+      previous_count = count;
     }
-    EXPECT_GE(count, previous_count);
-    previous_count = count;
-  });
+  };
+  MonotonicityChecker checker{n, std::vector<Round>(n, kNever)};
+  checker.previous[0] = 0;  // the source below
 
   PushPullProtocol proto;
-  const RunResult r = engine.run(proto, NodeId{0}, limits);
+  const RunResult r = engine.run(proto, NodeId{0}, limits, checker);
 
   // Round accounting respects RunLimits.
   EXPECT_GE(r.rounds, 1);
   EXPECT_LE(r.rounds, limits.max_rounds);
-  EXPECT_EQ(r.rounds, last_round);
+  EXPECT_EQ(r.rounds, checker.last_round);
   if (r.completion_round != kNever) {
     EXPECT_LE(r.completion_round, r.rounds);
   }
@@ -241,7 +249,7 @@ TEST_P(ConfigModelInvariants, InformedSetMonotoneAndConsistent) {
     EXPECT_LE(at, r.rounds);
   }
   EXPECT_EQ(informed_count, r.final_informed);
-  EXPECT_EQ(informed_count, previous_count);
+  EXPECT_EQ(informed_count, checker.previous_count);
   EXPECT_EQ(r.all_informed, informed_count >= r.alive_at_end);
 }
 

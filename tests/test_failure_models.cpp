@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "rrb/graph/generators.hpp"
+#include "rrb/metrics/observers.hpp"
+#include "rrb/phonecall/edge_ids.hpp"
 #include "rrb/phonecall/engine.hpp"
 #include "rrb/protocols/baselines.hpp"
 #include "rrb/protocols/four_choice.hpp"
@@ -141,19 +143,19 @@ TEST(BlockedPairs, CutEdgesNeverCarryTheMessage) {
   GraphTopology topo(g);
   Rng rng(9);
   PhoneCallEngine<GraphTopology> engine(topo, ChannelConfig{}, rng);
-  engine.enable_edge_usage_tracking(map);
+  EdgeUsageObserver usage(&g, &map);
   engine.set_failure_model(blocked_pairs(cut));
   PushPullProtocol proto;
   RunLimits limits;
   limits.max_rounds = 2000;
-  const RunResult r = engine.run(proto, NodeId{0}, limits);
+  const RunResult r = engine.run(proto, NodeId{0}, limits, usage);
   EXPECT_TRUE(r.all_informed);  // plenty of redundancy remains
 
   // Locate each cut pair's edge ids and assert unused.
   for (const auto& [u, v] : cut) {
     for (NodeId i = 0; i < g.degree(u); ++i) {
       if (g.neighbor(u, i) == v) {
-        EXPECT_EQ(engine.edge_used()[map.edge_of(u, i)], 0)
+        EXPECT_EQ(usage.used()[map.edge_of(u, i)], 0)
             << u << "-" << v;
       }
     }

@@ -136,18 +136,29 @@ TEST(Integration, PullRoundLeavesOnlyH4Nodes) {
   FourChoiceBroadcast alg(fc);
   const Round pull_round = alg.schedule().phase3_end;
 
-  std::vector<Round> before;  // informed_at after phase 2
-  std::vector<Round> after;   // informed_at after phase 3
+  // A snapshot observer: capture informed_at around the pull round.
+  struct PhaseSnapshots {
+    Round before_round, after_round;
+    std::vector<Round> before;  // informed_at after phase 2
+    std::vector<Round> after;   // informed_at after phase 3
+    [[nodiscard]] const char* name() const { return "phase-snapshots"; }
+    void on_round_end(const RoundStats& stats,
+                      std::span<const Round> informed) {
+      if (stats.t == before_round)
+        before.assign(informed.begin(), informed.end());
+      if (stats.t == after_round)
+        after.assign(informed.begin(), informed.end());
+    }
+  };
   GraphTopology topo(g);
   Rng rng(34);
   ChannelConfig chan;
   chan.num_choices = 4;
   PhoneCallEngine<GraphTopology> engine(topo, chan, rng);
-  engine.set_round_observer([&](Round t, std::span<const Round> informed) {
-    if (t == pull_round - 1) before.assign(informed.begin(), informed.end());
-    if (t == pull_round) after.assign(informed.begin(), informed.end());
-  });
-  (void)engine.run(alg, NodeId{0}, RunLimits{});
+  PhaseSnapshots snaps{pull_round - 1, pull_round, {}, {}};
+  (void)engine.run(alg, NodeId{0}, RunLimits{}, snaps);
+  std::vector<Round>& before = snaps.before;
+  std::vector<Round>& after = snaps.after;
   ASSERT_EQ(before.size(), n);
   ASSERT_EQ(after.size(), n);
 

@@ -1,0 +1,462 @@
+#include "rrb/metrics/observers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rrb/core/broadcast.hpp"
+#include "rrb/core/scheme_dispatch.hpp"
+#include "rrb/graph/generators.hpp"
+#include "rrb/metrics/registry.hpp"
+#include "rrb/phonecall/edge_ids.hpp"
+#include "rrb/protocols/baselines.hpp"
+#include "rrb/protocols/four_choice.hpp"
+#include "rrb/sim/trace.hpp"
+#include "rrb/sim/trial.hpp"
+
+/// The metric-observer suite: per-observer units, ObserverSet composition
+/// laws, and — the load-bearing part — the read-only guarantee: attaching
+/// the full observer stack leaves every scheme's draws and RunResult
+/// bit-identical to a bare run, at worker threads 1 and 4. The bare runs
+/// themselves are frozen by tests/test_golden_results.cpp, so equality
+/// here chains the instrumented paths to the recorded goldens.
+
+namespace rrb {
+namespace {
+
+Graph golden_graph() {
+  Rng grng(0xfeed);
+  return random_regular_simple(512, 8, grng);
+}
+
+void expect_run_eq(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.completion_round, b.completion_round);
+  EXPECT_EQ(a.push_tx, b.push_tx);
+  EXPECT_EQ(a.pull_tx, b.pull_tx);
+  EXPECT_EQ(a.channels_opened, b.channels_opened);
+  EXPECT_EQ(a.channels_failed, b.channels_failed);
+  EXPECT_EQ(a.final_informed, b.final_informed);
+  EXPECT_EQ(a.alive_at_end, b.alive_at_end);
+  EXPECT_EQ(a.all_informed, b.all_informed);
+}
+
+void expect_summary_eq(const Summary& a, const Summary& b) {
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.median, b.median);
+  EXPECT_EQ(a.count, b.count);
+}
+
+void expect_outcome_eq(const TrialOutcome& a, const TrialOutcome& b) {
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    SCOPED_TRACE("trial " + std::to_string(i));
+    expect_run_eq(a.runs[i], b.runs[i]);
+  }
+  expect_summary_eq(a.rounds, b.rounds);
+  expect_summary_eq(a.completion_round, b.completion_round);
+  expect_summary_eq(a.total_tx, b.total_tx);
+  expect_summary_eq(a.tx_per_node, b.tx_per_node);
+  expect_summary_eq(a.push_tx, b.push_tx);
+  expect_summary_eq(a.pull_tx, b.pull_tx);
+  expect_summary_eq(a.coverage, b.coverage);
+  EXPECT_EQ(a.completion_rate, b.completion_rate);
+}
+
+/// Every observer that needs no external topology state, composed.
+using FreeStack =
+    ObserverSet<RunSummaryObserver, RoundStatsObserver, SetSizeObserver,
+                TxHistogramObserver, InformedLatencyObserver>;
+
+// ---- The read-only guarantee (golden bit-identity) -------------------------
+
+TEST(MetricsGolden, FullStackLeavesBroadcastBitIdenticalForAllSchemes) {
+  const Graph g = golden_graph();
+  const EdgeIdMap map = build_edge_id_map(g);
+  for (const BroadcastScheme scheme : kAllSchemes) {
+    for (const double failure : {0.0, 0.1}) {
+      BroadcastOptions opt;
+      opt.scheme = scheme;
+      opt.seed = 0x5eed01;
+      opt.failure_prob = failure;
+      const RunResult bare = broadcast(g, 7, opt);
+
+      ObserverSet stack(RunSummaryObserver{}, RoundStatsObserver{},
+                        SetSizeObserver{}, HSetObserver(&g),
+                        EdgeUsageObserver(&g, &map), TxHistogramObserver{},
+                        InformedLatencyObserver{});
+      const RunResult observed = broadcast(g, 7, opt, stack);
+      SCOPED_TRACE(std::string(scheme_name(scheme)) + " fp=" +
+                   std::to_string(failure));
+      expect_run_eq(observed, bare);
+    }
+  }
+}
+
+TEST(MetricsGolden, FullStackLeavesBroadcastTrialsBitIdenticalThreads1And4) {
+  const Graph g = golden_graph();
+  for (const BroadcastScheme scheme : kAllSchemes) {
+    BroadcastOptions opt;
+    opt.scheme = scheme;
+    opt.seed = 0x5eed02;
+    opt.trials = 4;
+    opt.runner.threads = 1;
+    const TrialOutcome bare = broadcast_trials(g, opt);
+    for (const int threads : {1, 4}) {
+      BroadcastOptions observed_opt = opt;
+      observed_opt.runner.threads = threads;
+      const ObservedOutcome<FreeStack> observed = broadcast_trials(
+          g, observed_opt, [](const Graph&) { return FreeStack{}; });
+      SCOPED_TRACE(std::string(scheme_name(scheme)) + " threads=" +
+                   std::to_string(threads));
+      expect_outcome_eq(observed.outcome, bare);
+      ASSERT_EQ(observed.observers.size(), 4U);
+      // The per-trial observers agree with their trial's RunResult — and
+      // arrive in trial order whatever the schedule was.
+      for (std::size_t trial = 0; trial < observed.observers.size(); ++trial) {
+        const FreeStack& stack = observed.observers[trial];
+        expect_run_eq(stack.get<RunSummaryObserver>().result(),
+                      bare.runs[trial]);
+      }
+    }
+  }
+}
+
+TEST(MetricsGolden, ObservedRunTrialsMatchesBareThreads1And4) {
+  BroadcastOptions opt;
+  opt.scheme = BroadcastScheme::kFourChoice;
+  opt.n_estimate = 256;
+  TrialConfig config;
+  config.trials = 3;
+  config.seed = 0x5eed03;
+  {
+    Rng probe(1);
+    const Graph g0 = random_regular_simple(256, 8, probe);
+    config.channel = make_scheme(g0, opt).channel;
+  }
+  const GraphFactory gf = [](Rng& rng) {
+    return random_regular_simple(256, 8, rng);
+  };
+  const ProtocolFactory pf = [opt](const Graph& g) {
+    return make_scheme(g, opt).protocol;
+  };
+  config.runner.threads = 1;
+  const TrialOutcome bare = run_trials(gf, pf, config);
+  for (const int threads : {1, 4}) {
+    TrialConfig observed_config = config;
+    observed_config.runner.threads = threads;
+    const ObservedOutcome<FreeStack> observed = run_trials(
+        gf, pf, observed_config, [](const Graph&) { return FreeStack{}; });
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_outcome_eq(observed.outcome, bare);
+    ASSERT_EQ(observed.observers.size(), 3U);
+    for (std::size_t trial = 0; trial < 3; ++trial)
+      expect_run_eq(observed.observers[trial].get<RunSummaryObserver>().result(),
+                    bare.runs[trial]);
+  }
+}
+
+// ---- trace_set_sizes parity with the pre-observer engine path --------------
+
+/// Values captured from the pre-redesign build (engine-side
+/// set_round_observer + enable_edge_usage_tracking) for this exact
+/// configuration. The observer-based trace must reproduce them to the bit:
+/// the redesign moved the measurement, not the numbers.
+TEST(MetricsGolden, TraceSetSizesMatchesPreObserverValues) {
+  TraceConfig cfg;
+  cfg.trials = 3;
+  cfg.seed = 0x77ace;
+  cfg.track_h_sets = true;
+  cfg.track_edge_usage = true;
+  cfg.channel.num_choices = 4;
+  const NodeId n = 512;
+  const auto trace = trace_set_sizes(
+      [n](Rng& rng) { return random_regular_simple(n, 8, rng); },
+      [n](const Graph&) {
+        FourChoiceConfig fc;
+        fc.n_estimate = n;
+        return make_protocol<FourChoiceBroadcast>(fc);
+      },
+      cfg);
+  ASSERT_EQ(trace.size(), 33U);
+
+  struct Golden {
+    std::size_t index;
+    Round t;
+    double informed, newly, uninformed, h1, h4, h5, unused;
+  };
+  const Golden goldens[] = {
+      {0, 1, 5, 4, 507, 507, 507, 507, 512},
+      {2, 3, 65.333333333333329, 46.666666666666664, 446.66666666666663,
+       446.66666666666663, 446.66666666666663, 445.33333333333331, 512},
+      {5, 6, 499.66666666666663, 104.33333333333333, 12.333333333333332,
+       2.333333333333333, 0, 0, 501},
+      {32, 33, 512, 0, 0, 0, 0, 0, 1.3333333333333333},
+  };
+  for (const Golden& golden : goldens) {
+    SCOPED_TRACE("round index " + std::to_string(golden.index));
+    const SetTracePoint& p = trace[golden.index];
+    EXPECT_EQ(p.t, golden.t);
+    EXPECT_EQ(p.informed, golden.informed);
+    EXPECT_EQ(p.newly_informed, golden.newly);
+    EXPECT_EQ(p.uninformed, golden.uninformed);
+    EXPECT_EQ(p.h1, golden.h1);
+    EXPECT_EQ(p.h4, golden.h4);
+    EXPECT_EQ(p.h5, golden.h5);
+    EXPECT_EQ(p.unused_edge_nodes, golden.unused);
+  }
+}
+
+// ---- Per-observer units ----------------------------------------------------
+
+TEST(RunSummary, ReproducesEngineRunResultForEveryScheme) {
+  const Graph g = golden_graph();
+  for (const BroadcastScheme scheme : kAllSchemes) {
+    BroadcastOptions opt;
+    opt.scheme = scheme;
+    opt.seed = 0xab5e;
+    RunSummaryObserver summary;
+    const RunResult r = broadcast(g, 3, opt, summary);
+    SCOPED_TRACE(scheme_name(scheme));
+    // The observer re-derives the run from the hook stream alone
+    // (on_run_end's result parameter is deliberately ignored).
+    expect_run_eq(summary.result(), r);
+  }
+}
+
+TEST(RoundStatsObs, MatchesRecordRoundsExactly) {
+  const Graph g = golden_graph();
+  BroadcastOptions opt;
+  opt.scheme = BroadcastScheme::kPushPull;
+  opt.seed = 0xab5e;
+  opt.record_rounds = true;
+  RoundStatsObserver per_round;
+  const RunResult r = broadcast(g, 3, opt, per_round);
+  ASSERT_EQ(per_round.rounds().size(), r.per_round.size());
+  for (std::size_t i = 0; i < r.per_round.size(); ++i) {
+    const RoundStats& a = per_round.rounds()[i];
+    const RoundStats& b = r.per_round[i];
+    EXPECT_EQ(a.t, b.t);
+    EXPECT_EQ(a.informed, b.informed);
+    EXPECT_EQ(a.newly_informed, b.newly_informed);
+    EXPECT_EQ(a.push_tx, b.push_tx);
+    EXPECT_EQ(a.pull_tx, b.pull_tx);
+    EXPECT_EQ(a.channels_opened, b.channels_opened);
+    EXPECT_EQ(a.channels_failed, b.channels_failed);
+    EXPECT_EQ(a.transmitting_nodes, b.transmitting_nodes);
+  }
+}
+
+TEST(SetSizes, PartitionsNAndSumsNewlyInformed) {
+  const Graph g = golden_graph();
+  BroadcastOptions opt;
+  opt.scheme = BroadcastScheme::kPush;
+  opt.seed = 0xab5e;
+  SetSizeObserver sizes;
+  const RunResult r = broadcast(g, 3, opt, sizes);
+  ASSERT_EQ(sizes.points().size(), static_cast<std::size_t>(r.rounds));
+  Count last = 1;
+  Count newly_sum = 0;
+  for (const SetSizeObserver::Point& p : sizes.points()) {
+    EXPECT_EQ(p.informed + p.uninformed, 512U);
+    EXPECT_GE(p.informed, last);
+    EXPECT_EQ(p.newly_informed, p.informed - last);
+    newly_sum += p.newly_informed;
+    last = p.informed;
+  }
+  EXPECT_EQ(newly_sum + 1, r.final_informed);  // +1: the source
+}
+
+TEST(HSets, CountsUninformedNeighbourhoodsOnAKnownGraph) {
+  // Silent protocol: nobody transmits, so H(t) stays {1..5} on cycle(6)
+  // with source 0 — every uninformed node has >= 1 uninformed neighbour,
+  // none has >= 4 (cycle degree is 2).
+  struct Silent {
+    [[nodiscard]] Action action(NodeId, const NodeLocalState&, Round) {
+      return Action::kNone;
+    }
+    [[nodiscard]] bool finished(Round, Count, Count) const { return false; }
+    [[nodiscard]] const char* name() const { return "silent"; }
+  };
+  const Graph g = cycle(6);
+  GraphTopology topo(g);
+  Rng rng(5);
+  PhoneCallEngine<GraphTopology> engine(topo, ChannelConfig{}, rng);
+  HSetObserver hsets(&g);
+  Silent silent;
+  RunLimits limits;
+  limits.max_rounds = 3;
+  (void)engine.run(silent, NodeId{0}, limits, hsets);
+  ASSERT_EQ(hsets.points().size(), 3U);
+  for (const HSetObserver::Point& p : hsets.points()) {
+    EXPECT_EQ(p.h1, 5U);
+    EXPECT_EQ(p.h4, 0U);
+    EXPECT_EQ(p.h5, 0U);
+  }
+}
+
+TEST(HSets, DisabledObserverRecordsNothing) {
+  const Graph g = golden_graph();
+  BroadcastOptions opt;
+  opt.seed = 0xab5e;
+  HSetObserver disabled(nullptr);
+  (void)broadcast(g, 3, opt, disabled);
+  EXPECT_FALSE(disabled.enabled());
+  EXPECT_TRUE(disabled.points().empty());
+}
+
+TEST(EdgeUsage, BitmapAndPerRoundUnusedCounts) {
+  const Graph g = golden_graph();
+  const EdgeIdMap map = build_edge_id_map(g);
+  BroadcastOptions opt;
+  opt.scheme = BroadcastScheme::kPushPull;
+  opt.seed = 0xab5e;
+  EdgeUsageObserver usage(&g, &map, /*record_per_round=*/true);
+  const RunResult r = broadcast(g, 3, opt, usage);
+  ASSERT_EQ(usage.used().size(), map.num_edges);
+  ASSERT_EQ(usage.unused_edge_nodes_per_round().size(),
+            static_cast<std::size_t>(r.rounds));
+  // |U(t)| only shrinks, and some edge carried the message.
+  Count last = 512;
+  Count used_edges = 0;
+  for (const Count u : usage.unused_edge_nodes_per_round()) {
+    EXPECT_LE(u, last);
+    last = u;
+  }
+  for (const std::uint8_t used : usage.used()) used_edges += used;
+  EXPECT_GT(used_edges, 0U);
+  EXPECT_LE(used_edges, map.num_edges);
+}
+
+TEST(TxHistogram, SendCountsSumToTotalTransmissions) {
+  const Graph g = golden_graph();
+  BroadcastOptions opt;
+  opt.scheme = BroadcastScheme::kPushPull;
+  opt.seed = 0xab5e;
+  TxHistogramObserver hist;
+  const RunResult r = broadcast(g, 3, opt, hist);
+  Count sum = 0;
+  for (const Count c : hist.sends()) sum += c;
+  EXPECT_EQ(sum, r.total_tx());
+  const QuantileSummary digest = hist.summarise();
+  EXPECT_EQ(digest.count, 512U);
+  EXPECT_LE(digest.p50, digest.p90);
+  EXPECT_LE(digest.p90, digest.p99);
+  EXPECT_LE(digest.p99, digest.max);
+  EXPECT_EQ(digest.mean * 512.0, static_cast<double>(sum));
+}
+
+TEST(InformedLatency, MatchesInformedAtDistribution) {
+  const Graph g = golden_graph();
+  BroadcastOptions opt;
+  opt.scheme = BroadcastScheme::kPush;
+  opt.seed = 0xab5e;
+  InformedLatencyObserver latency;
+  const RunResult r = broadcast(g, 3, opt, latency);
+  EXPECT_EQ(latency.latencies().size(),
+            static_cast<std::size_t>(r.final_informed));
+  EXPECT_EQ(latency.informed_fraction(),
+            static_cast<double>(r.final_informed) / 512.0);
+  // Sorted, starts at the source's 0, ends within the executed rounds.
+  ASSERT_FALSE(latency.latencies().empty());
+  EXPECT_EQ(latency.latencies().front(), 0.0);
+  EXPECT_LE(latency.latencies().back(), static_cast<double>(r.rounds));
+  const QuantileSummary digest = latency.summarise();
+  EXPECT_EQ(digest.max, latency.latencies().back());
+}
+
+TEST(Quantiles, SummariseValuesIsDeterministicAndOrderFree) {
+  std::vector<double> a = {3, 1, 2, 5, 4};
+  std::vector<double> b = {5, 4, 3, 2, 1};
+  const QuantileSummary da = summarise_values(std::move(a));
+  const QuantileSummary db = summarise_values(std::move(b));
+  EXPECT_EQ(da.mean, db.mean);
+  EXPECT_EQ(da.p50, db.p50);
+  EXPECT_EQ(da.max, 5.0);
+  EXPECT_EQ(da.p50, 3.0);
+  const QuantileSummary empty = summarise_values({});
+  EXPECT_EQ(empty.count, 0U);
+  EXPECT_EQ(empty.max, 0.0);
+}
+
+// ---- ObserverSet composition laws ------------------------------------------
+
+TEST(ObserverSetLaws, CompositionOrderDoesNotChangeAnyObserver) {
+  const Graph g = golden_graph();
+  BroadcastOptions opt;
+  opt.scheme = BroadcastScheme::kFourChoice;
+  opt.seed = 0xab5e;
+
+  ObserverSet ab(SetSizeObserver{}, TxHistogramObserver{});
+  ObserverSet ba(TxHistogramObserver{}, SetSizeObserver{});
+  const RunResult ra = broadcast(g, 3, opt, ab);
+  const RunResult rb = broadcast(g, 3, opt, ba);
+  expect_run_eq(ra, rb);
+
+  const auto& sizes_ab = ab.get<SetSizeObserver>().points();
+  const auto& sizes_ba = ba.get<SetSizeObserver>().points();
+  ASSERT_EQ(sizes_ab.size(), sizes_ba.size());
+  for (std::size_t i = 0; i < sizes_ab.size(); ++i) {
+    EXPECT_EQ(sizes_ab[i].informed, sizes_ba[i].informed);
+    EXPECT_EQ(sizes_ab[i].newly_informed, sizes_ba[i].newly_informed);
+  }
+  EXPECT_EQ(ab.get<TxHistogramObserver>().sends(),
+            ba.get<TxHistogramObserver>().sends());
+}
+
+TEST(ObserverSetLaws, SetExposesExactlyTheUnionOfMemberHooks) {
+  // A set of transmission-only observers must not declare round hooks —
+  // composition never widens the instrumented surface.
+  using TxOnly = ObserverSet<TxHistogramObserver>;
+  static_assert(detail::HasOnTransmission<TxOnly>);
+  static_assert(detail::HasOnRunBegin<TxOnly>);
+  static_assert(!detail::HasOnRoundEnd<TxOnly>);
+  static_assert(!detail::HasOnRoundBegin<TxOnly>);
+  static_assert(!detail::HasOnNodeInformed<TxOnly>);
+
+  using LatencyOnly = ObserverSet<InformedLatencyObserver>;
+  static_assert(detail::HasOnRunEnd<LatencyOnly>);
+  static_assert(!detail::HasOnTransmission<LatencyOnly>);
+  static_assert(!detail::HasOnRunBegin<LatencyOnly>);
+
+  // The empty set has no hooks at all: attaching it is the bare engine.
+  using Empty = ObserverSet<>;
+  static_assert(!detail::HasOnRunBegin<Empty>);
+  static_assert(!detail::HasOnTransmission<Empty>);
+  static_assert(!detail::HasOnRoundEnd<Empty>);
+  static_assert(!detail::HasOnRunEnd<Empty>);
+
+  static_assert(MetricObserver<FreeStack>);
+  static_assert(MetricObserver<MetricStack>);
+  SUCCEED();
+}
+
+// ---- Registry --------------------------------------------------------------
+
+TEST(Registry, NamesRoundTripAndSummariseTheStack) {
+  for (const MetricKind kind : kAllMetrics)
+    EXPECT_EQ(parse_metric(metric_name(kind)), kind);
+  EXPECT_FALSE(parse_metric("warp-speed").has_value());
+
+  const Graph g = golden_graph();
+  BroadcastOptions opt;
+  opt.seed = 0xab5e;
+  MetricStack stack;
+  const RunResult r = broadcast(g, 3, opt, stack);
+  const QuantileSummary tx = metric_summary(stack, MetricKind::kTxHistogram);
+  const QuantileSummary latency =
+      metric_summary(stack, MetricKind::kInformedLatency);
+  EXPECT_EQ(tx.count, 512U);
+  EXPECT_EQ(latency.count, static_cast<std::size_t>(r.final_informed));
+  EXPECT_EQ(std::string(metric_column_prefix(MetricKind::kTxHistogram)),
+            "tx_node");
+  EXPECT_EQ(std::string(metric_column_prefix(MetricKind::kInformedLatency)),
+            "latency");
+}
+
+}  // namespace
+}  // namespace rrb
