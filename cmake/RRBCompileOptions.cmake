@@ -6,6 +6,14 @@
 
 option(RRB_WERROR "Treat warnings as errors" OFF)
 option(RRB_SANITIZE "Build with AddressSanitizer + UndefinedBehaviorSanitizer" OFF)
+option(RRB_SANITIZE_THREAD "Build with ThreadSanitizer" OFF)
+
+if(RRB_SANITIZE AND RRB_SANITIZE_THREAD)
+  message(FATAL_ERROR
+    "RRB_SANITIZE and RRB_SANITIZE_THREAD are mutually exclusive: "
+    "ASan and TSan cannot be combined in one binary. Use the asan and "
+    "tsan presets in separate build trees.")
+endif()
 
 add_library(rrb_compile_options INTERFACE)
 add_library(rrb::compile_options ALIAS rrb_compile_options)
@@ -32,4 +40,19 @@ if(RRB_SANITIZE)
     -fno-omit-frame-pointer)
   target_link_options(rrb_compile_options INTERFACE
     -fsanitize=address,undefined)
+endif()
+
+if(RRB_SANITIZE_THREAD)
+  if(MSVC)
+    message(FATAL_ERROR "RRB_SANITIZE_THREAD is only supported with GCC/Clang")
+  endif()
+  # TSan watches the ParallelRunner thread pool and the campaign cell
+  # executor — the layers whose data races would silently break the
+  # (seed, i) determinism contract rather than crash. Run the determinism
+  # suites under this preset with RRB_THREADS=4 (the tsan CI job does).
+  target_compile_options(rrb_compile_options INTERFACE
+    -fsanitize=thread
+    -fno-omit-frame-pointer)
+  target_link_options(rrb_compile_options INTERFACE
+    -fsanitize=thread)
 endif()

@@ -15,9 +15,11 @@ namespace {
 const char* const kHexDigits = "0123456789abcdef";
 
 double steady_now_ms() {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+  // rrb-lint: allow-next-line(no-nondeterminism-sources) — feeds only the
+  // timing.jsonl wall-clock side channel, which is never part of the
+  // deterministic artifacts and never diffed (see PR 5 notes in CHANGES.md).
+  const auto since_epoch = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::milli>(since_epoch).count();
 }
 
 }  // namespace
@@ -326,6 +328,8 @@ std::string BenchReport::write_to(const std::string& path) {
 
 std::string BenchReport::write() {
   std::string dir = ".";
+  // rrb-lint: allow-next-line(no-nondeterminism-sources) — chooses where the
+  // bench report lands on disk, not what it contains.
   if (const char* env = std::getenv("RRB_BENCH_JSON_DIR");
       env != nullptr && *env != '\0')
     dir = env;

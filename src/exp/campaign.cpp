@@ -357,6 +357,14 @@ CampaignOutcome CampaignRunner::run(const CellProgress& progress) {
     timing_out.open(outcome.timing_path, std::ios::app);
   }
   using Clock = std::chrono::steady_clock;
+  // The campaign's only wall-clock reads live in these two helpers so the
+  // side channel has a single, auditable entry point.
+  // rrb-lint: allow-next-line(no-nondeterminism-sources) — feeds only the
+  // timing.jsonl side channel above, never the deterministic records.
+  const auto timing_now = [] { return Clock::now(); };
+  const auto elapsed_ms = [](Clock::time_point start, Clock::time_point end) {
+    return std::chrono::duration<double, std::milli>(end - start).count();
+  };
   std::vector<double> wall_ms(mine.size(), 0.0);
   auto record_timing = [&](std::size_t i) {
     if (!timing_out || outcome.cells[i].reused) return;
@@ -400,11 +408,9 @@ CampaignOutcome CampaignRunner::run(const CellProgress& progress) {
     // Cells in cell order; each cell's trials fan out on the pool.
     for (std::size_t i = 0; i < mine.size(); ++i) {
       if (!outcome.cells[i].reused) {
-        const Clock::time_point start = Clock::now();
+        const Clock::time_point start = timing_now();
         outcome.cells[i].record = run_cell(spec_, *mine[i], config_.runner);
-        wall_ms[i] = std::chrono::duration<double, std::milli>(
-                         Clock::now() - start)
-                         .count();
+        wall_ms[i] = elapsed_ms(start, timing_now());
       }
       complete(i);
     }
@@ -420,11 +426,9 @@ CampaignOutcome CampaignRunner::run(const CellProgress& progress) {
     ParallelRunner pool(config_.runner);
     pool.for_each_trial(static_cast<int>(missing.size()), [&](int j) {
       const std::size_t i = missing[static_cast<std::size_t>(j)];
-      const Clock::time_point start = Clock::now();
+      const Clock::time_point start = timing_now();
       JsonObject record = run_cell(spec_, *mine[i], inner);
-      const double ms =
-          std::chrono::duration<double, std::milli>(Clock::now() - start)
-              .count();
+      const double ms = elapsed_ms(start, timing_now());
       const std::lock_guard<std::mutex> lock(mutex);
       outcome.cells[i].record = std::move(record);
       wall_ms[i] = ms;

@@ -66,7 +66,45 @@ concept HasOnRunEnd =
       o.on_run_end(r, ia);
     };
 
+// A member with the hook's *name* exists, whatever its signature. Address-of
+// is enough: it fails only for overload sets and member templates, which no
+// observer hook should be (each hook has exactly one documented signature).
+template <typename O>
+concept NamesOnRunBegin = requires { &O::on_run_begin; };
+template <typename O>
+concept NamesOnRoundBegin = requires { &O::on_round_begin; };
+template <typename O>
+concept NamesOnTransmission = requires { &O::on_transmission; };
+template <typename O>
+concept NamesOnNodeInformed = requires { &O::on_node_informed; };
+template <typename O>
+concept NamesOnRoundEnd = requires { &O::on_round_end; };
+template <typename O>
+concept NamesOnRunEnd = requires { &O::on_run_end; };
+
 }  // namespace detail
+
+/// Compile-time half of the observer read-only contract: every hook an
+/// observer *names* must be invocable with the documented read-only
+/// parameter types (const references, spans of const, values).
+///
+/// The engine detects hooks with `requires`, so a hook whose signature
+/// demands mutable access — `RoundStats&` instead of `const RoundStats&`,
+/// `std::span<Round>` instead of `std::span<const Round>` — would not match
+/// the detection and be *silently skipped*: the observer compiles, runs,
+/// and never fires. That silent skip is either a mutability bug (the hook
+/// wants write access it must never have) or a signature typo; both should
+/// be hard errors. ObserverSet static_asserts this for every member, and
+/// tests/compile_fail/ keeps the assertion honest with a
+/// must-not-compile fixture (registered in tests/CMakeLists.txt).
+template <typename O>
+concept ObserverHooksReadOnly =
+    (!detail::NamesOnRunBegin<O> || detail::HasOnRunBegin<O>) &&
+    (!detail::NamesOnRoundBegin<O> || detail::HasOnRoundBegin<O>) &&
+    (!detail::NamesOnTransmission<O> || detail::HasOnTransmission<O>) &&
+    (!detail::NamesOnNodeInformed<O> || detail::HasOnNodeInformed<O>) &&
+    (!detail::NamesOnRoundEnd<O> || detail::HasOnRoundEnd<O>) &&
+    (!detail::NamesOnRunEnd<O> || detail::HasOnRunEnd<O>);
 
 /// A metric observer: movable (the trial runners park one per trial and
 /// reduce them in trial order), named (the registry and reports key on it),
@@ -86,6 +124,14 @@ concept MetricObserver = std::move_constructible<O> && requires(const O& o) {
 /// unobservable (tests pin this).
 template <MetricObserver... Obs>
 class ObserverSet {
+  static_assert(
+      (ObserverHooksReadOnly<Obs> && ...),
+      "ObserverSet member names an engine hook whose signature is not "
+      "invocable with the documented read-only parameter types (e.g. "
+      "'RoundStats&' instead of 'const RoundStats&'). The engine would "
+      "silently skip such a hook; observers are read-only — see "
+      "rrb/metrics/observer.hpp and the ROADMAP observer contract.");
+
  public:
   ObserverSet() = default;
   explicit ObserverSet(Obs... obs)

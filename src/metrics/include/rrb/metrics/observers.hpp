@@ -234,4 +234,15 @@ class InformedLatencyObserver {
   double informed_fraction_ = 0.0;
 };
 
+// Every standard observer honours the compile-time read-only hook contract
+// (a hook name with a signature the engine cannot invoke read-only would be
+// silently skipped — see ObserverHooksReadOnly in observer.hpp).
+static_assert(ObserverHooksReadOnly<RunSummaryObserver>);
+static_assert(ObserverHooksReadOnly<RoundStatsObserver>);
+static_assert(ObserverHooksReadOnly<SetSizeObserver>);
+static_assert(ObserverHooksReadOnly<HSetObserver>);
+static_assert(ObserverHooksReadOnly<EdgeUsageObserver>);
+static_assert(ObserverHooksReadOnly<TxHistogramObserver>);
+static_assert(ObserverHooksReadOnly<InformedLatencyObserver>);
+
 }  // namespace rrb

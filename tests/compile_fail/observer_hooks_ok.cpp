@@ -1,0 +1,51 @@
+// Positive control for the compile-fail harness: a hook-complete observer
+// with the documented read-only signatures. If this file ever fails to
+// compile, the observer_mutable_hook_fail "failure" is meaningless (the
+// harness would be broken, e.g. missing include paths), so the two tests
+// are registered as a pair in tests/CMakeLists.txt.
+#include <span>
+
+#include "rrb/metrics/observer.hpp"
+
+namespace {
+
+struct EveryHookObserver {
+  [[nodiscard]] const char* name() const { return "every-hook"; }
+
+  void on_run_begin(rrb::NodeId n, std::span<const rrb::NodeId> sources) {
+    nodes_ = n;
+    sources_seen_ = sources.size();
+  }
+  void on_round_begin(rrb::Round t) { round_ = t; }
+  void on_transmission(const rrb::TransmissionEvent& event) {
+    last_round_ = event.t;
+  }
+  void on_node_informed(rrb::NodeId v, rrb::Round t) {
+    last_informed_ = v;
+    round_ = t;
+  }
+  void on_round_end(const rrb::RoundStats& stats,
+                    std::span<const rrb::Round> informed_at) {
+    informed_ = stats.informed;
+    slots_ = informed_at.size();
+  }
+  void on_run_end(const rrb::RunResult& result,
+                  std::span<const rrb::Round> informed_at) {
+    rounds_ = result.rounds;
+    slots_ = informed_at.size();
+  }
+
+  rrb::NodeId nodes_ = 0;
+  std::size_t sources_seen_ = 0;
+  rrb::Round round_ = 0;
+  rrb::Round last_round_ = 0;
+  rrb::NodeId last_informed_ = 0;
+  rrb::Count informed_ = 0;
+  std::size_t slots_ = 0;
+  rrb::Round rounds_ = 0;
+};
+
+}  // namespace
+
+static_assert(rrb::ObserverHooksReadOnly<EveryHookObserver>);
+rrb::ObserverSet<EveryHookObserver> set{EveryHookObserver{}};

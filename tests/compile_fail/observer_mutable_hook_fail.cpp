@@ -1,0 +1,29 @@
+// MUST NOT COMPILE — negative fixture for the observer read-only contract.
+//
+// The hook below demands mutable access (`RoundStats&` / `std::span<Round>`
+// instead of the documented `const RoundStats&` / `std::span<const Round>`).
+// Without the ObserverHooksReadOnly static_assert in ObserverSet, the engine
+// would simply never detect the hook and skip it silently; with it, this
+// translation unit is a hard error. tests/CMakeLists.txt compiles this file
+// expecting failure (WILL_FAIL) alongside the positive control
+// observer_hooks_ok.cpp, which proves the harness itself compiles.
+#include <span>
+
+#include "rrb/metrics/observer.hpp"
+
+namespace {
+
+struct MutableHookObserver {
+  [[nodiscard]] const char* name() const { return "mutable-hook"; }
+
+  // Wrong: wants to mutate the round stats and the informed_at table.
+  void on_round_end(rrb::RoundStats& stats, std::span<rrb::Round> informed_at) {
+    stats.informed = 0;
+    informed_at[0] = 0;
+  }
+};
+
+}  // namespace
+
+// Instantiating ObserverSet fires the read-only static_assert.
+rrb::ObserverSet<MutableHookObserver> set{MutableHookObserver{}};

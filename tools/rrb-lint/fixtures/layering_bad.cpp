@@ -1,0 +1,12 @@
+// Fixture: back-edges in the module DAG — rng is near the bottom of the
+// layering (it may depend only on common), so including graph or exp from
+// it inverts the architecture; a typo'd module name is caught too. Linted
+// with --as src/rng/fixture.cpp; expects 3 findings of module-layering.
+#include "rrb/common/check.hpp"       // ok: declared dependency
+#include "rrb/exp/campaign.hpp"       // finding: exp is eight layers up
+#include "rrb/graph/graph.hpp"        // finding: back-edge into graph
+#include "rrb/simulation/trial.hpp"   // finding: unknown module 'simulation'
+
+namespace rrb {
+void fixture();
+}

@@ -1,0 +1,19 @@
+// Fixture: includes that follow the module DAG. core sits above protocols,
+// metrics, phonecall, graph, rng and common, and analysis arrives
+// transitively through metrics — all of these are legal, as are system
+// headers and the module's own headers. Linted with
+// --as src/core/fixture.cpp; expects 0 findings.
+#include <vector>
+
+#include "rrb/analysis/histogram.hpp"  // transitive via metrics: allowed
+#include "rrb/common/types.hpp"
+#include "rrb/core/broadcast.hpp"  // own module
+#include "rrb/graph/graph.hpp"
+#include "rrb/metrics/observer.hpp"
+#include "rrb/phonecall/engine.hpp"
+#include "rrb/protocols/baselines.hpp"
+#include "rrb/rng/rng.hpp"
+
+namespace rrb {
+void fixture();
+}

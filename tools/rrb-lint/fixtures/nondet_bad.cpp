@@ -1,0 +1,33 @@
+// Fixture: every banned nondeterminism source, in a record-path module.
+// Linted with --as src/sim/fixture.cpp; expects 6 findings of
+// no-nondeterminism-sources (one per banned construct below).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned seed_from_entropy() {
+  std::random_device entropy;  // finding: random_device
+  return entropy();
+}
+
+long stamp() {
+  return time(nullptr);  // finding: time()
+}
+
+long ticks() {
+  return clock();  // finding: clock()
+}
+
+double wall_ms() {
+  const auto t = std::chrono::steady_clock::now();  // finding: ::now()
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+int weak_draw() {
+  return rand();  // finding: rand()
+}
+
+const char* knob() {
+  return std::getenv("RRB_FIXTURE");  // finding: getenv()
+}

@@ -1,0 +1,22 @@
+// Fixture: identifiers and types that merely *contain* banned tokens, plus
+// banned tokens in comments and string literals. Linted with
+// --as src/sim/fixture.cpp; expects 0 findings — a match on any of these
+// would be a tokenizer bug.
+#include <chrono>
+#include <string>
+
+// Comment mentions rand(), time(nullptr) and std::random_device — ignored.
+
+struct TimePoint {
+  using clock_type = std::chrono::steady_clock;  // the type, not ::now()
+  long informed_time(int round) { return round; }     // ..._time( is not time(
+  long runtime(int rounds) { return rounds * 2; }     // ...time( is not time(
+  long lifetime(int rounds) { return rounds + 1; }
+};
+
+std::string describe() {
+  return "uses time() and getenv() and clock() only inside this string";
+}
+
+long overclock(long hz) { return hz * 2; }  // ...clock is not clock()
+long brand(long x) { return x; }            // ...rand( is not rand()

@@ -1,0 +1,13 @@
+// Fixture: wall-clock reads are fine outside the record-path modules —
+// benches and the analysis/graph layers time themselves freely. Linted with
+// --as bench/fixture.cpp; expects 0 findings.
+#include <chrono>
+#include <cstdlib>
+
+double bench_elapsed_ms() {
+  const auto start = std::chrono::steady_clock::now();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+const char* bench_output_dir() { return std::getenv("RRB_BENCH_JSON_DIR"); }

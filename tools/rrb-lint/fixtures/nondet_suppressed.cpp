@@ -1,0 +1,22 @@
+// Fixture: all three suppression forms silence a real finding when the rule
+// name matches. Linted with --as src/sim/fixture.cpp; expects 0 findings
+// and 3 suppressions.
+#include <chrono>
+#include <cstdlib>
+
+const char* knob() {
+  // rrb-lint: allow-next-line(no-nondeterminism-sources) — fixture: config
+  // read that can never reach a recorded artifact.
+  return std::getenv("RRB_FIXTURE");
+}
+
+long stamp() {
+  return time(nullptr);  // rrb-lint: allow(no-nondeterminism-sources) — fixture
+}
+
+/* rrb-lint: allow-file(no-unordered-iteration) — fixture: file-level allow
+   counts as a suppression even though the rule has exactly one hit here. */
+#include <unordered_set>
+void drain(std::unordered_set<int>& seen) {
+  for (int v : seen) (void)v;
+}

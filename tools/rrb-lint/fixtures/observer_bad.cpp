@@ -1,0 +1,17 @@
+// Fixture: an observer translation unit that sees the RNG — three distinct
+// violations of the observer read-only contract. Linted with
+// --as src/metrics/fixture.cpp; expects 4 findings of observer-read-only
+// (rng include, engine include, Rng mention, draw call).
+#include "rrb/phonecall/engine.hpp"  // finding: mutating engine header
+#include "rrb/rng/rng.hpp"           // finding: observers may not see the RNG
+
+struct JitterObserver {
+  const char* name() const { return "jitter"; }
+
+  void on_round_begin(int round) {
+    rrb::Rng rng(static_cast<unsigned long long>(round));  // finding: Rng
+    jitter_ = rng.uniform_double();  // finding: draw call in a hook
+  }
+
+  double jitter_ = 0.0;
+};

@@ -1,0 +1,16 @@
+// Fixture: a well-behaved observer — reads the hook stream, accumulates
+// into its own state, never touches randomness or the engine. Linted with
+// --as src/metrics/fixture.cpp; expects 0 findings.
+#include <cstdint>
+#include <vector>
+
+struct CountingObserver {
+  const char* name() const { return "counting"; }
+
+  void on_round_begin(int round) { last_round_ = round; }
+  void on_transmission() { ++transmissions_; }
+
+  int last_round_ = 0;
+  std::uint64_t transmissions_ = 0;
+  std::vector<int> per_round_;
+};

@@ -1,0 +1,8 @@
+// Fixture: a suppression only silences the rule it names — naming a
+// different rule leaves the finding live. Linted with
+// --as src/sim/fixture.cpp; expects 1 finding of no-nondeterminism-sources.
+#include <ctime>
+
+long stamp() {
+  return time(nullptr);  // rrb-lint: allow(module-layering) — wrong rule
+}

@@ -1,0 +1,30 @@
+// Fixture: iterating unordered containers in a record-path module — the
+// iteration order depends on hash seeding and load factors, so anything
+// written in loop order forks recorded artifacts. Linted with
+// --as src/core/fixture.cpp; expects 3 findings of no-unordered-iteration.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Tally {
+  std::unordered_map<std::uint64_t, int> counts;
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+std::vector<int> snapshot(const Tally& tally) {
+  std::vector<int> out;
+  for (const auto& entry : tally.counts) {  // finding: range-for over map
+    out.push_back(entry.second);
+  }
+  return out;
+}
+
+std::size_t drain(Tally& tally) {
+  std::size_t n = 0;
+  for (auto it = tally.seen_.begin(); it != tally.seen_.end(); ++it) {
+    ++n;  // finding above: iterator loop over unordered set
+  }
+  for (std::uint64_t v : tally.seen_) n += v;  // finding: range-for over set
+  return n;
+}

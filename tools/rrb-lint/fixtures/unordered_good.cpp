@@ -1,0 +1,27 @@
+// Fixture: order-insensitive unordered-container use (lookups, counts,
+// inserts) and iteration over *ordered* containers are all fine. Linted
+// with --as src/core/fixture.cpp; expects 0 findings.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Tally {
+  std::unordered_map<std::uint64_t, int> counts;
+  std::unordered_set<std::uint64_t> seen;
+};
+
+int lookups(Tally& tally, std::uint64_t key) {
+  tally.seen.insert(key);
+  ++tally.counts[key];  // operator[] is a lookup, not an iteration
+  return tally.counts.count(key) != 0 ? tally.counts[key] : 0;
+}
+
+int ordered_iteration(const std::map<std::uint64_t, int>& sorted,
+                      const std::vector<int>& dense) {
+  int total = 0;
+  for (const auto& [key, value] : sorted) total += value;  // std::map: ordered
+  for (const int v : dense) total += v;
+  return total;
+}

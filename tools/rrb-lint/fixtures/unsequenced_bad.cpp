@@ -1,0 +1,23 @@
+// Fixture: two draws from one generator inside a single argument list.
+// Argument evaluation order is unspecified in C++, so the order the draws
+// hit the stream differs between compilers — the recorded output would not
+// be reproducible. Linted with --as src/protocols/fixture.cpp; expects 3
+// findings of no-unsequenced-rng-args.
+#include <cstdint>
+#include <utility>
+
+struct Rng {
+  std::uint64_t next_u64();
+  std::uint64_t uniform_u64(std::uint64_t bound);
+  bool bernoulli(double p);
+};
+
+std::pair<std::uint64_t, std::uint64_t> edge(Rng& rng) {
+  // finding: both ends drawn in one argument list
+  return std::make_pair(rng.next_u64(), rng.next_u64());
+}
+
+std::uint64_t mix(Rng& rng, std::uint64_t (*combine)(std::uint64_t, bool)) {
+  // finding: draws nested at different depths still share combine's list
+  return combine(rng.uniform_u64(1 + rng.next_u64()), rng.bernoulli(0.5));
+}

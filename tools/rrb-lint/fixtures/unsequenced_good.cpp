@@ -1,0 +1,38 @@
+// Fixture: draw patterns that are all properly sequenced — named locals,
+// draws from *different* generators in one list, const fork() calls, and
+// draws inside a lambda body passed as an argument. Linted with
+// --as src/protocols/fixture.cpp; expects 0 findings.
+#include <cstdint>
+#include <utility>
+
+struct Rng {
+  std::uint64_t next_u64();
+  std::uint64_t uniform_u64(std::uint64_t bound);
+  Rng fork(std::uint64_t stream) const;  // const: not a draw
+};
+
+std::pair<std::uint64_t, std::uint64_t> edge(Rng& rng) {
+  // Named locals pin the draw order — this is the fix the rule suggests.
+  const std::uint64_t u = rng.next_u64();
+  const std::uint64_t v = rng.next_u64();
+  return std::make_pair(u, v);
+}
+
+bool streams_agree(Rng& a, Rng& b) {
+  return a.next_u64() == b.next_u64();  // different generators: independent
+}
+
+Rng forked_pair(const Rng& base) {
+  // fork() is const and keyed on (seed, stream): order-free by design.
+  return combine(base.fork(0), base.fork(1));
+}
+
+template <typename Run>
+std::uint64_t schedule(Rng& rng, Run run) {
+  // The lambda *body* is sequenced by its own statements; its draws do not
+  // leak into run()'s argument list.
+  return run(rng.uniform_u64(8), [](Rng& local) {
+    const std::uint64_t first = local.next_u64();
+    return first + local.next_u64();
+  });
+}

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file lint.hpp
+/// rrb-lint: source-level static analysis for the repository's determinism
+/// contracts (see ROADMAP.md "Persistent invariants").
+///
+/// The library's output contract is bit-identical reproduction: every
+/// recorded number is a pure function of (seed, parameters) because all
+/// randomness flows through rrb::Rng streams keyed on (seed, trial) and the
+/// engine's draw order is frozen by golden tests. The golden tests tell you
+/// *that* a contract broke; this tool tells you *where*, at lint time,
+/// before a stray wall-clock read or unordered-container iteration forks a
+/// recorded experiment. Each contract is a named rule; findings can be
+/// suppressed per line with a justifying comment:
+///
+///   // rrb-lint: allow(<rule>[, <rule>...]) — <why this is safe>
+///   // rrb-lint: allow-next-line(<rule>) — <why>   (suppresses the line below)
+///   // rrb-lint: allow-file(<rule>) — <why>        (suppresses the whole file)
+///
+/// Rules (scopes in lint.cpp):
+///   no-nondeterminism-sources   no random_device/time/clock/::now/rand/
+///                               getenv in record-path modules
+///   no-unordered-iteration      no iteration over std::unordered_* in
+///                               record-path modules (order leaks into
+///                               artifacts)
+///   observer-read-only          metric-observer TUs draw no randomness and
+///                               keep away from the mutating engine header
+///   no-unsequenced-rng-args     no two draws from one generator inside a
+///                               single argument list (evaluation order is
+///                               unspecified, so the draw stream would
+///                               depend on the compiler)
+///   module-layering             #include edges must follow the module DAG
+///                               declared in src/*/CMakeLists.txt
+
+namespace rrb::lint {
+
+/// One rule violation at a specific source line.
+struct Finding {
+  std::string path;     ///< repo-relative display path
+  int line = 0;         ///< 1-based
+  std::string rule;     ///< rule name, e.g. "module-layering"
+  std::string message;  ///< human-readable description
+};
+
+/// Result of linting one file.
+struct FileReport {
+  std::vector<Finding> findings;
+  int suppressed = 0;  ///< findings silenced by allow() comments
+};
+
+/// Which rules to run; empty means all.
+struct Options {
+  std::vector<std::string> rules;
+};
+
+/// Names of all registered rules, in canonical order.
+const std::vector<std::string>& rule_names();
+
+/// True iff `name` is a registered rule.
+bool is_rule(std::string_view name);
+
+/// Lint one translation unit. `display_path` is the repo-relative path used
+/// for module scoping and reporting (fixtures pass a virtual path via the
+/// CLI's --as flag); `content` is the file's text.
+FileReport lint_file(std::string_view display_path, std::string_view content,
+                     const Options& options);
+
+}  // namespace rrb::lint

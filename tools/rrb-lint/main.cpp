@@ -1,0 +1,240 @@
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+/// rrb-lint CLI. Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or
+/// I/O error. See lint.hpp for the rules and the suppression syntax.
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kUsage =
+    R"(usage: rrb-lint [options] [path...]
+
+Lints C++ sources against the repository's determinism contracts.
+Paths may be files or directories (searched recursively for
+.cpp/.cc/.cxx/.hpp/.h); directories named 'build', '.git' or 'fixtures'
+are skipped. Paths are resolved relative to --root.
+
+options:
+  --root DIR              repository root; scoping and reports use paths
+                          relative to it (default: current directory)
+  --as PATH               treat the single input file as repo path PATH
+                          (used by the fixture self-tests to place a snippet
+                          in a specific module)
+  --manifest FILE         read a newline-separated file list
+  --compile-commands FILE read the "file" entries of a compile_commands.json
+  --rules A,B             run only the named rules
+  --list-rules            print rule names and exit
+  --github                also emit GitHub ::error annotations
+  -q, --quiet             print findings only, no summary
+  -h, --help              this text
+)";
+
+bool has_source_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h";
+}
+
+bool skipped_directory(const fs::path& path) {
+  const std::string name = path.filename().string();
+  return name == "build" || name == ".git" || name == "fixtures";
+}
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const char c : text) {
+    if (c == ',') {
+      if (!current.empty()) out.push_back(std::move(current));
+      current.clear();
+    } else if (c != ' ') {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+/// The "file" entries of a compile_commands.json. A full JSON parser would
+/// be overkill for the one key we need; compile_commands.json is
+/// machine-written and the "file" values are plain paths.
+std::vector<std::string> compile_commands_files(const std::string& json) {
+  std::vector<std::string> out;
+  static constexpr std::string_view kKey = "\"file\"";
+  std::size_t pos = 0;
+  while ((pos = json.find(kKey, pos)) != std::string::npos) {
+    pos += kKey.size();
+    pos = json.find('"', json.find(':', pos));
+    if (pos == std::string::npos) break;
+    const std::size_t end = json.find('"', pos + 1);
+    if (end == std::string::npos) break;
+    out.push_back(json.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+  }
+  return out;
+}
+
+std::string display_path(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(file, root, ec);
+  const fs::path chosen = (ec || rel.empty()) ? file : rel;
+  return chosen.generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string as_path;
+  rrb::lint::Options options;
+  std::vector<std::string> inputs;
+  bool github = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "rrb-lint: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : rrb::lint::rule_names()) {
+        std::cout << rule << "\n";
+      }
+      return 0;
+    } else if (arg == "--root") {
+      root = value("--root");
+    } else if (arg == "--as") {
+      as_path = value("--as");
+    } else if (arg == "--rules") {
+      options.rules = split_commas(value("--rules"));
+      for (const std::string& rule : options.rules) {
+        if (!rrb::lint::is_rule(rule)) {
+          std::cerr << "rrb-lint: unknown rule '" << rule
+                    << "' (see --list-rules)\n";
+          return 2;
+        }
+      }
+    } else if (arg == "--manifest") {
+      std::ifstream in(value("--manifest"));
+      if (!in) {
+        std::cerr << "rrb-lint: cannot read manifest\n";
+        return 2;
+      }
+      for (std::string line; std::getline(in, line);) {
+        if (!line.empty() && line[0] != '#') inputs.push_back(line);
+      }
+    } else if (arg == "--compile-commands") {
+      std::ifstream in(value("--compile-commands"));
+      if (!in) {
+        std::cerr << "rrb-lint: cannot read compile commands\n";
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      for (std::string& file : compile_commands_files(buffer.str())) {
+        inputs.push_back(std::move(file));
+      }
+    } else if (arg == "--github") {
+      github = true;
+    } else if (arg == "-q" || arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "rrb-lint: unknown option '" << arg << "'\n" << kUsage;
+      return 2;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+
+  if (inputs.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  if (!as_path.empty() && inputs.size() != 1) {
+    std::cerr << "rrb-lint: --as expects exactly one input file\n";
+    return 2;
+  }
+
+  // Expand inputs to the concrete file list.
+  std::vector<fs::path> files;
+  for (const std::string& input : inputs) {
+    fs::path path = input;
+    if (path.is_relative()) path = root / path;
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      fs::recursive_directory_iterator it(path, ec), end;
+      if (ec) {
+        std::cerr << "rrb-lint: cannot walk " << path << "\n";
+        return 2;
+      }
+      for (; it != end; ++it) {
+        if (it->is_directory() && skipped_directory(it->path())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && has_source_extension(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(path);
+    } else {
+      std::cerr << "rrb-lint: no such file or directory: " << input << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  int total_findings = 0;
+  int total_suppressed = 0;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "rrb-lint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    const std::string shown =
+        as_path.empty() ? display_path(file, root) : as_path;
+    const rrb::lint::FileReport report =
+        rrb::lint::lint_file(shown, buffer.str(), options);
+
+    total_suppressed += report.suppressed;
+    total_findings += static_cast<int>(report.findings.size());
+    for (const rrb::lint::Finding& f : report.findings) {
+      std::cout << f.path << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+      if (github) {
+        std::cout << "::error file=" << f.path << ",line=" << f.line
+                  << ",title=rrb-lint " << f.rule << "::" << f.message << "\n";
+      }
+    }
+  }
+
+  if (!quiet) {
+    std::cout << "rrb-lint: " << total_findings << " finding"
+              << (total_findings == 1 ? "" : "s") << " (" << total_suppressed
+              << " suppressed) across " << files.size() << " file"
+              << (files.size() == 1 ? "" : "s") << "\n";
+  }
+  return total_findings == 0 ? 0 : 1;
+}
