@@ -14,11 +14,13 @@
 ///    incremental informed-alive bookkeeping;
 ///  - configuration-model generation and the sampler primitive.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
 
 #include "bench_util.hpp"
+#include "rrb/core/broadcast.hpp"
 #include "rrb/p2p/churn.hpp"
 
 namespace rrb {
@@ -164,6 +166,55 @@ void run_all() {
         },
         300.0, 16);
     report(json, "four-choice/churn", t);
+  }
+
+  {
+    // Trial-batched engine: trials/sec through the broadcast_trials facade,
+    // the sequential driver versus B lockstep lanes over the shared
+    // topology (outputs are bit-identical — see test_batched_engine.cpp —
+    // so the rows measure pure scheduling). Each rep times one whole
+    // 64-trial sweep; the best rep is reported, which guards the
+    // trajectory against scheduler noise on shared machines.
+    constexpr int kTrials = 64;
+    for (const BroadcastScheme scheme :
+         {BroadcastScheme::kPush, BroadcastScheme::kPushPull}) {
+      for (const int batch : {0, 32, 64}) {
+        BroadcastOptions opt;
+        opt.scheme = scheme;
+        opt.seed = 0xbea7;
+        opt.trials = kTrials;
+        opt.runner.threads = 1;
+        opt.runner.batch = batch;
+        (void)broadcast_trials(g, opt);  // warmup
+        int reps = 0;
+        double total_ms = 0.0;
+        double best_trials_per_sec = 0.0;
+        while (reps < 8 && (reps < 3 || total_ms < 900.0)) {
+          const auto start = Clock::now();
+          (void)broadcast_trials(g, opt);
+          const double ms =
+              std::chrono::duration<double, std::milli>(Clock::now() - start)
+                  .count();
+          total_ms += ms;
+          ++reps;
+          if (ms > 0.0)
+            best_trials_per_sec = std::max(best_trials_per_sec,
+                                           kTrials / (ms / 1000.0));
+        }
+        const std::string name =
+            std::string("trials/") + scheme_name(scheme) +
+            (batch == 0 ? "/seq" : "/B" + std::to_string(batch));
+        std::printf("%-28s %5d reps   %9.2f ms  %12.1f trials/s\n",
+                    name.c_str(), reps, total_ms, best_trials_per_sec);
+        json.row()
+            .set("name", name)
+            .set("batch", batch)
+            .set("trials", kTrials)
+            .set("reps", reps)
+            .set("wall_ms", total_ms)
+            .set("trials_per_sec", best_trials_per_sec);
+      }
+    }
   }
 
   {

@@ -143,6 +143,11 @@ class PhoneCallEngine {
     return informed_at_;
   }
 
+  /// Read-only view of the channel sampler's per-node state (memory rings,
+  /// quasirandom cursors) — for tests pinning the sampling semantics;
+  /// mutating channel state mid-run would break the draw-order contract.
+  [[nodiscard]] const ChannelSampler& sampler() const { return sampler_; }
+
   /// Forget a node's informed status. Needed by churn drivers when a slot
   /// freed by a departed peer is reused by a fresh joiner — the newcomer
   /// must not inherit its predecessor's copy of the message. Only call from
@@ -299,10 +304,17 @@ RunResult PhoneCallEngine<TopologyT>::run(ProtocolT& protocol,
     for (NodeId v = 0; v < n; ++v) {
       if (!topo_->is_alive(v)) continue;
       const std::size_t k = sampler_.choose(*topo_, *rng_, v, edge_choice);
-      for (std::size_t i = 0; i < k; ++i) partners[i] = kNoNode;
       for (std::size_t i = 0; i < k; ++i) {
         const NodeId edge_idx = edge_choice[i];
         const NodeId w = neighbor_of(v, edge_idx);
+        // Deliberate: the partner is recorded for the memory ring *before*
+        // the failure checks below, so a failed or stale channel still
+        // counts as "recently called" — the call was placed even if no
+        // message crossed it, which is what the sequentialised model's
+        // memory constraint is about. Pinned by
+        // tests/test_engine.cpp (MemoryRing.FailedChannelsAreRemembered);
+        // changing it would alter the rejection-sampling draw sequence of
+        // every memory-scheme experiment.
         partners[i] = w;
         ++round.channels_opened;
         if ((has_failure_prob && rng_->bernoulli(config_.failure_prob)) ||
@@ -380,8 +392,12 @@ RunResult PhoneCallEngine<TopologyT>::run(ProtocolT& protocol,
     // Completion: every alive node informed. informed_alive_ is maintained
     // incrementally — churn hooks report departures via notify_node_died()
     // and slot reuse via reset_node(), so no O(n) rescan is needed here.
+    // alive > 0 guards the vacuous case: a churn burst that kills every
+    // node must not count as completion (the set may repopulate via joins
+    // and the run would then carry a bogus completion_round).
     const Count informed_alive = informed_alive_;
-    if (result.completion_round == kNever && informed_alive >= alive)
+    if (result.completion_round == kNever && alive > 0 &&
+        informed_alive >= alive)
       result.completion_round = t;
 
     const bool proto_done = protocol.finished(t, informed_alive, alive);
@@ -402,7 +418,13 @@ RunResult PhoneCallEngine<TopologyT>::run(ProtocolT& protocol,
   for (NodeId v = 0; v < n; ++v)
     if (topo_->is_alive(v) && informed_at_[v] != kNever) ++final_informed;
   result.final_informed = final_informed;
-  result.all_informed = final_informed >= result.alive_at_end;
+  // "All informed" requires someone to be informed: when churn killed every
+  // node (alive_at_end == 0) the broadcast failed, even though the empty
+  // set of alive nodes is vacuously covered. Without the alive_at_end > 0
+  // guard such runs would report completion with zero informed nodes and
+  // pollute completion_rate/completion_round statistics.
+  result.all_informed =
+      result.alive_at_end > 0 && final_informed >= result.alive_at_end;
 
   if constexpr (requires(std::span<const Round> ia) {
                   observers.on_run_end(result, ia);

@@ -7,46 +7,8 @@
 
 namespace rrb {
 
-Action PushProtocol::action(NodeId /*v*/, const NodeLocalState& /*state*/,
-                            Round /*t*/) {
-  return Action::kPush;
-}
-
-bool PushProtocol::finished(Round /*t*/, Count informed, Count alive) const {
-  return informed >= alive;
-}
-
-Action PullProtocol::action(NodeId /*v*/, const NodeLocalState& /*state*/,
-                            Round /*t*/) {
-  return Action::kPull;
-}
-
-bool PullProtocol::finished(Round /*t*/, Count informed, Count alive) const {
-  return informed >= alive;
-}
-
-Action PushPullProtocol::action(NodeId /*v*/, const NodeLocalState& /*state*/,
-                                Round /*t*/) {
-  return Action::kPushPull;
-}
-
-bool PushPullProtocol::finished(Round /*t*/, Count informed,
-                                Count alive) const {
-  return informed >= alive;
-}
-
 FixedHorizonPush::FixedHorizonPush(Round horizon) : horizon_(horizon) {
   RRB_REQUIRE(horizon >= 1, "horizon must be >= 1");
-}
-
-Action FixedHorizonPush::action(NodeId /*v*/, const NodeLocalState& /*state*/,
-                                Round t) {
-  return t <= horizon_ ? Action::kPush : Action::kNone;
-}
-
-bool FixedHorizonPush::finished(Round t, Count /*informed*/,
-                                Count /*alive*/) const {
-  return t >= horizon_;
 }
 
 Round make_push_horizon(std::uint64_t n_estimate, int degree, double safety) {

@@ -18,10 +18,25 @@
 namespace rrb {
 
 /// Informed nodes push over every outgoing channel, every round.
+///
+/// The baseline action()/finished() bodies are defined inline: the engines
+/// call them once per informed node per round (actions) and once per round
+/// (termination), and for these one-liners the call itself would dominate —
+/// inline, the optimiser folds the constant action into the round loop.
 class PushProtocol {
  public:
-  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state, Round t);
-  [[nodiscard]] bool finished(Round t, Count informed, Count alive) const;
+  /// action() ignores the node and its state (see batched_engine.hpp's
+  /// kStateObliviousAction): the batched kernel may ask once per round and
+  /// broadcast the answer across nodes.
+  static constexpr bool kActionIgnoresState = true;
+
+  [[nodiscard]] Action action(NodeId /*v*/, const NodeLocalState& /*state*/,
+                              Round /*t*/) {
+    return Action::kPush;
+  }
+  [[nodiscard]] bool finished(Round /*t*/, Count informed, Count alive) const {
+    return informed >= alive;
+  }
   [[nodiscard]] const char* name() const { return "push"; }
 };
 
@@ -29,16 +44,30 @@ class PushProtocol {
 /// nodes still open channels (that is what makes pull work).
 class PullProtocol {
  public:
-  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state, Round t);
-  [[nodiscard]] bool finished(Round t, Count informed, Count alive) const;
+  static constexpr bool kActionIgnoresState = true;
+
+  [[nodiscard]] Action action(NodeId /*v*/, const NodeLocalState& /*state*/,
+                              Round /*t*/) {
+    return Action::kPull;
+  }
+  [[nodiscard]] bool finished(Round /*t*/, Count informed, Count alive) const {
+    return informed >= alive;
+  }
   [[nodiscard]] const char* name() const { return "pull"; }
 };
 
 /// Informed nodes transmit in both directions, every round.
 class PushPullProtocol {
  public:
-  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state, Round t);
-  [[nodiscard]] bool finished(Round t, Count informed, Count alive) const;
+  static constexpr bool kActionIgnoresState = true;
+
+  [[nodiscard]] Action action(NodeId /*v*/, const NodeLocalState& /*state*/,
+                              Round /*t*/) {
+    return Action::kPushPull;
+  }
+  [[nodiscard]] bool finished(Round /*t*/, Count informed, Count alive) const {
+    return informed >= alive;
+  }
   [[nodiscard]] const char* name() const { return "push-pull"; }
 };
 
@@ -51,10 +80,19 @@ class PushPullProtocol {
 /// completion time).
 class FixedHorizonPush {
  public:
+  /// Depends on the round only, never on the node or its state.
+  static constexpr bool kActionIgnoresState = true;
+
   explicit FixedHorizonPush(Round horizon);
 
-  [[nodiscard]] Action action(NodeId v, const NodeLocalState& state, Round t);
-  [[nodiscard]] bool finished(Round t, Count informed, Count alive) const;
+  [[nodiscard]] Action action(NodeId /*v*/, const NodeLocalState& /*state*/,
+                              Round t) {
+    return t <= horizon_ ? Action::kPush : Action::kNone;
+  }
+  [[nodiscard]] bool finished(Round t, Count /*informed*/,
+                              Count /*alive*/) const {
+    return t >= horizon_;
+  }
   [[nodiscard]] const char* name() const { return "push/fixed-horizon"; }
   [[nodiscard]] Round horizon() const { return horizon_; }
 

@@ -40,6 +40,8 @@ class Xoshiro256StarStar {
     return ~static_cast<result_type>(0);
   }
 
+  // Defined inline below: this is the leaf of every random draw in the
+  // library, and the simulation hot loops are draw-bound.
   result_type operator()();
 
   /// Jump ahead 2^128 steps; used to derive independent parallel streams.
@@ -75,7 +77,8 @@ class Rng {
   [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
 
   /// Uniform integer in [0, bound) via Lemire's unbiased multiply-shift
-  /// rejection method. bound must be >= 1.
+  /// rejection method. bound must be >= 1. Inline (below): one draw per
+  /// node per round in the phone call engines.
   [[nodiscard]] std::uint64_t uniform_u64(std::uint64_t bound);
 
   /// Uniform integer in [lo, hi] inclusive.
@@ -144,5 +147,56 @@ class Rng {
   Xoshiro256StarStar engine_;
   std::uint64_t seed_;
 };
+
+// ---------------------------------------------------------------------------
+// Inline hot-path definitions. These are the leaves of every draw the round
+// loops make (one xoshiro step + one Lemire reduction per channel choice);
+// keeping them in the header lets them inline into the engines instead of
+// costing two cross-TU calls per draw. The algorithms are bit-for-bit the
+// ones golden-pinned in tests/test_rng.cpp — only their linkage is inline.
+// ---------------------------------------------------------------------------
+
+inline Xoshiro256StarStar::result_type Xoshiro256StarStar::operator()() {
+  const auto rotl = [](std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  };
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+inline std::uint64_t Rng::uniform_u64(std::uint64_t bound) {
+  RRB_REQUIRE(bound >= 1, "uniform_u64 bound must be >= 1");
+  // Lemire's method with rejection to remove bias.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (~bound + 1) % bound;  // (2^64 - b) mod b
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+inline double Rng::uniform_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+inline bool Rng::bernoulli(double p) {
+  RRB_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli p out of [0,1]");
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform_double() < p;
+}
 
 }  // namespace rrb

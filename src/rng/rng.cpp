@@ -4,14 +4,6 @@
 
 namespace rrb {
 
-namespace {
-
-[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
-
 std::uint64_t splitmix64_next(std::uint64_t& state) {
   state += 0x9e3779b97f4a7c15ULL;
   std::uint64_t z = state;
@@ -23,18 +15,6 @@ std::uint64_t splitmix64_next(std::uint64_t& state) {
 Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64_next(sm);
-}
-
-Xoshiro256StarStar::result_type Xoshiro256StarStar::operator()() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
 }
 
 void Xoshiro256StarStar::jump() {
@@ -52,39 +32,11 @@ void Xoshiro256StarStar::jump() {
   s_ = acc;
 }
 
-std::uint64_t Rng::uniform_u64(std::uint64_t bound) {
-  RRB_REQUIRE(bound >= 1, "uniform_u64 bound must be >= 1");
-  // Lemire's method with rejection to remove bias.
-  std::uint64_t x = next_u64();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  auto lo = static_cast<std::uint64_t>(m);
-  if (lo < bound) {
-    const std::uint64_t threshold = (~bound + 1) % bound;  // (2^64 - b) mod b
-    while (lo < threshold) {
-      x = next_u64();
-      m = static_cast<__uint128_t>(x) * bound;
-      lo = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   RRB_REQUIRE(lo <= hi, "uniform_int needs lo <= hi");
   const auto span =
       static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
   return lo + static_cast<std::int64_t>(uniform_u64(span));
-}
-
-double Rng::uniform_double() {
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::bernoulli(double p) {
-  RRB_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli p out of [0,1]");
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform_double() < p;
 }
 
 void Rng::sample_distinct(std::uint64_t n, std::size_t k,

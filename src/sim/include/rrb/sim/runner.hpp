@@ -36,12 +36,18 @@ class ParallelRunner {
   /// core (minimum 1).
   [[nodiscard]] static int resolve_threads(const RunnerConfig& config);
 
-  /// Trials claimed per scheduling task (config.chunk, defaulted).
-  [[nodiscard]] int resolved_chunk() const;
+  /// Trials claimed per scheduling task: config.chunk when positive, else
+  /// a bounded default of ceil(trials / (4 · resolve_threads())) — about
+  /// four chunks per worker, so chunk-indexed partial-reduction slots stay
+  /// O(threads) however many trials there are.
+  [[nodiscard]] int resolved_chunk(int trials) const;
 
   /// Number of contiguous chunks [begin, end) that cover [0, trials).
-  /// Depends only on (trials, chunk) — never on the thread count — so
-  /// chunk-indexed result slots are stable across machines.
+  /// Depends on (trials, chunk) and — only when chunk is defaulted — on
+  /// the resolved worker count. Either way the chunking contract applies:
+  /// chunks are contiguous ascending trial ranges reduced in chunk order,
+  /// so results are byte-identical for every chunking (pinned by
+  /// tests/test_runner.cpp).
   [[nodiscard]] int num_chunks(int trials) const;
 
   /// Half-open trial range of chunk `index`.

@@ -12,6 +12,7 @@
 #include "rrb/core/scheme_dispatch.hpp"
 #include "rrb/graph/graph.hpp"
 #include "rrb/metrics/observer.hpp"
+#include "rrb/phonecall/batched_engine.hpp"
 #include "rrb/phonecall/engine.hpp"
 #include "rrb/phonecall/protocol.hpp"
 #include "rrb/phonecall/result.hpp"
@@ -74,8 +75,22 @@ struct TrialOutcome {
   double completion_rate = 0.0;  ///< fraction of runs informing everyone
 };
 
-/// Run `config.trials` independent trials.
+/// Run `config.trials` independent trials, regenerating the random graph
+/// per trial. Rebuilding the topology every trial is what the paper's
+/// probability space asks for, and it is also why this overload ignores
+/// config.runner.batch — lockstep lanes need one shared topology.
 [[nodiscard]] TrialOutcome run_trials(const GraphFactory& graph_factory,
+                                      const ProtocolFactory& protocol_factory,
+                                      const TrialConfig& config);
+
+/// Fixed-graph trial sweep: every trial runs a fresh protocol instance on
+/// the same immutable graph ("random algorithm" randomness only). Trial i
+/// draws from Rng(config.seed).fork(i): its source first (uniform when
+/// config.random_source, else node 0), then the engine's round draws.
+/// This is the overload config.runner.batch accelerates — batch >= 1
+/// advances that many trials in lockstep on BatchedPhoneCallEngine,
+/// bit-identically to batch = 0 (pinned by tests/test_batched_engine.cpp).
+[[nodiscard]] TrialOutcome run_trials(const Graph& graph,
                                       const ProtocolFactory& protocol_factory,
                                       const TrialConfig& config);
 
@@ -103,6 +118,42 @@ namespace detail {
 /// samples enter each Summary in ascending trial order either way, so both
 /// paths produce byte-identical outcomes.
 [[nodiscard]] TrialOutcome reduce_runs(std::vector<RunResult>&& runs);
+
+/// Advance trials [first_trial, first_trial + lanes) of a fixed-graph
+/// sweep in lockstep on BatchedPhoneCallEngine. Lane b is trial
+/// first_trial + b: it seeds Rng(seed).fork(trial) and makes the exact
+/// draws the sequential drivers make on that stream — the source first
+/// (when fixed_source == kNoNode; a fixed source draws nothing), then the
+/// round loop — so out[b] is bit-identical to the sequential trial.
+/// protocols/observers/out carry one entry per lane; protocol instances
+/// must be freshly built for this group.
+template <ProtocolImpl ProtocolT, typename ObserverT>
+void run_batched_lanes(const Graph& graph, const ChannelConfig& channel,
+                       const RunLimits& limits,
+                       std::span<ProtocolT* const> protocols,
+                       std::uint64_t seed, int first_trial,
+                       NodeId fixed_source, std::span<ObserverT> observers,
+                       std::span<RunResult> out) {
+  const std::size_t lanes = protocols.size();
+  RRB_REQUIRE(out.size() == lanes, "one result slot per lane");
+  std::vector<Rng> rngs;
+  rngs.reserve(lanes);
+  std::vector<NodeId> sources(lanes);
+  for (std::size_t b = 0; b < lanes; ++b) {
+    rngs.push_back(
+        Rng(seed).fork(static_cast<std::uint64_t>(first_trial) + b));
+    sources[b] =
+        fixed_source != kNoNode
+            ? fixed_source
+            : static_cast<NodeId>(rngs.back().uniform_u64(graph.num_nodes()));
+  }
+  GraphTopology topo(graph);
+  BatchedPhoneCallEngine<GraphTopology> engine(topo, channel);
+  std::vector<RunResult> results =
+      engine.run(protocols, std::span<const NodeId>(sources),
+                 std::span<Rng>(rngs), limits, observers);
+  for (std::size_t b = 0; b < lanes; ++b) out[b] = std::move(results[b]);
+}
 
 }  // namespace detail
 
@@ -171,21 +222,58 @@ template <typename MakeObserver,
   std::vector<std::optional<Obs>> slots(trials);
 
   ParallelRunner runner(options.runner);
-  runner.for_each_trial(options.trials, [&](int trial) {
-    Rng rng = Rng(options.seed).fork(static_cast<std::uint64_t>(trial));
-    Obs observers = make_observer(graph);
-    runs[static_cast<std::size_t>(trial)] = with_scheme(
-        graph, options, [&](auto proto, const ChannelConfig& channel) {
-          GraphTopology topo(graph);
-          PhoneCallEngine<GraphTopology> engine(topo, channel, rng);
-          const NodeId from =
-              source != kNoNode
-                  ? source
-                  : static_cast<NodeId>(rng.uniform_u64(graph.num_nodes()));
-          return engine.run(proto, from, limits, observers);
-        });
-    slots[static_cast<std::size_t>(trial)] = std::move(observers);
-  });
+  if (const int batch = options.runner.batch; batch >= 1) {
+    // Batched: groups of `batch` trials advance in lockstep over the
+    // shared graph. Same per-trial streams and draw order as below, so
+    // runs and observers come out bit-identical (per-trial slots keep the
+    // reduction in trial order either way).
+    const int groups = (options.trials + batch - 1) / batch;
+    runner.for_each_trial(groups, [&](int group) {
+      const int begin = group * batch;
+      const int end = std::min(options.trials, begin + batch);
+      const auto lanes = static_cast<std::size_t>(end - begin);
+      with_scheme(
+          graph, options, [&](auto proto, const ChannelConfig& channel) {
+            using Proto = decltype(proto);
+            std::vector<Proto> protos(lanes, proto);
+            std::vector<Proto*> proto_ptrs(lanes);
+            std::vector<Obs> lane_obs;
+            lane_obs.reserve(lanes);
+            for (std::size_t b = 0; b < lanes; ++b) {
+              proto_ptrs[b] = &protos[b];
+              lane_obs.push_back(make_observer(graph));
+            }
+            std::vector<RunResult> lane_runs(lanes);
+            detail::run_batched_lanes(
+                graph, channel, limits,
+                std::span<Proto* const>(proto_ptrs), options.seed, begin,
+                source, std::span<Obs>(lane_obs),
+                std::span<RunResult>(lane_runs));
+            for (std::size_t b = 0; b < lanes; ++b) {
+              runs[static_cast<std::size_t>(begin) + b] =
+                  std::move(lane_runs[b]);
+              slots[static_cast<std::size_t>(begin) + b] =
+                  std::move(lane_obs[b]);
+            }
+          });
+    });
+  } else {
+    runner.for_each_trial(options.trials, [&](int trial) {
+      Rng rng = Rng(options.seed).fork(static_cast<std::uint64_t>(trial));
+      Obs observers = make_observer(graph);
+      runs[static_cast<std::size_t>(trial)] = with_scheme(
+          graph, options, [&](auto proto, const ChannelConfig& channel) {
+            GraphTopology topo(graph);
+            PhoneCallEngine<GraphTopology> engine(topo, channel, rng);
+            const NodeId from =
+                source != kNoNode
+                    ? source
+                    : static_cast<NodeId>(rng.uniform_u64(graph.num_nodes()));
+            return engine.run(proto, from, limits, observers);
+          });
+      slots[static_cast<std::size_t>(trial)] = std::move(observers);
+    });
+  }
 
   ObservedOutcome<Obs> observed;
   observed.outcome = detail::reduce_runs(std::move(runs));

@@ -32,6 +32,7 @@ int env_threads() {
 ParallelRunner::ParallelRunner(RunnerConfig config) : config_(config) {
   RRB_REQUIRE(config_.threads >= 0, "RunnerConfig.threads must be >= 0");
   RRB_REQUIRE(config_.chunk >= 0, "RunnerConfig.chunk must be >= 0");
+  RRB_REQUIRE(config_.batch >= 0, "RunnerConfig.batch must be >= 0");
 }
 
 int ParallelRunner::resolve_threads(const RunnerConfig& config) {
@@ -41,21 +42,28 @@ int ParallelRunner::resolve_threads(const RunnerConfig& config) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-int ParallelRunner::resolved_chunk() const {
-  return config_.chunk > 0 ? config_.chunk : 1;
+int ParallelRunner::resolved_chunk(int trials) const {
+  if (config_.chunk > 0) return config_.chunk;
+  // Bounded default: ~4 chunks per worker keeps dynamic load balancing
+  // effective while the partial-reduction slots callers allocate per chunk
+  // stay O(threads). (A per-trial default here once made a 10^6-trial
+  // sweep build a million Partials — see tests/test_runner.cpp.)
+  const long long slots = 4LL * resolve_threads(config_);
+  const long long chunk = (static_cast<long long>(trials) + slots - 1) / slots;
+  return static_cast<int>(std::max(1LL, chunk));
 }
 
 int ParallelRunner::num_chunks(int trials) const {
   // 64-bit intermediate: chunk may be INT_MAX and trials + chunk - 1
   // must not overflow.
-  const long long chunk = resolved_chunk();
+  const long long chunk = resolved_chunk(trials);
   return static_cast<int>((trials + chunk - 1) / chunk);
 }
 
 std::pair<int, int> ParallelRunner::chunk_bounds(int index, int trials) const {
   RRB_REQUIRE(index >= 0 && index < num_chunks(trials),
               "chunk index out of range");
-  const long long chunk = resolved_chunk();
+  const long long chunk = resolved_chunk(trials);
   const long long begin = index * chunk;
   const long long end = std::min<long long>(trials, begin + chunk);
   return {static_cast<int>(begin), static_cast<int>(end)};

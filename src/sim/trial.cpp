@@ -1,5 +1,7 @@
 #include "rrb/sim/trial.hpp"
 
+#include <algorithm>
+
 #include "rrb/common/check.hpp"
 #include "rrb/core/scheme_dispatch.hpp"
 #include "rrb/sim/runner.hpp"
@@ -130,6 +132,57 @@ TrialOutcome run_trials(const GraphFactory& graph_factory,
   });
 }
 
+TrialOutcome run_trials(const Graph& graph,
+                        const ProtocolFactory& protocol_factory,
+                        const TrialConfig& config) {
+  RRB_REQUIRE(config.trials >= 1, "need at least one trial");
+  RRB_REQUIRE(graph.num_nodes() >= 2, "trial graph too small");
+  const NodeId fixed_source = config.random_source ? kNoNode : 0;
+
+  if (const int batch = config.runner.batch; batch >= 1) {
+    // Batched: advance `batch` trials in lockstep per engine call. Lane
+    // streams and draw order match the sequential branch below exactly,
+    // so the outcome is bit-identical (tests/test_batched_engine.cpp).
+    const int trials = config.trials;
+    const int groups = (trials + batch - 1) / batch;
+    std::vector<RunResult> runs(static_cast<std::size_t>(trials));
+    ParallelRunner runner(config.runner);
+    runner.for_each_trial(groups, [&](int group) {
+      const int begin = group * batch;
+      const int end = std::min(trials, begin + batch);
+      const auto lanes = static_cast<std::size_t>(end - begin);
+      std::vector<std::unique_ptr<BroadcastProtocol>> protos(lanes);
+      std::vector<BroadcastProtocol*> proto_ptrs(lanes);
+      for (std::size_t b = 0; b < lanes; ++b) {
+        protos[b] = protocol_factory(graph);
+        RRB_REQUIRE(protos[b] != nullptr, "protocol factory returned null");
+        proto_ptrs[b] = protos[b].get();
+      }
+      std::vector<detail::NoMetrics> none(lanes);
+      detail::run_batched_lanes(
+          graph, config.channel, config.limits,
+          std::span<BroadcastProtocol* const>(proto_ptrs), config.seed,
+          begin, fixed_source, std::span<detail::NoMetrics>(none),
+          std::span<RunResult>(runs).subspan(
+              static_cast<std::size_t>(begin), lanes));
+    });
+    return detail::reduce_runs(std::move(runs));
+  }
+
+  return reduce_trials(config.trials, config.runner, [&](int trial) {
+    Rng rng = Rng(config.seed).fork(static_cast<std::uint64_t>(trial));
+    auto protocol = protocol_factory(graph);
+    RRB_REQUIRE(protocol != nullptr, "protocol factory returned null");
+    GraphTopology topo(graph);
+    PhoneCallEngine<GraphTopology> engine(topo, config.channel, rng);
+    const NodeId source =
+        fixed_source != kNoNode
+            ? fixed_source
+            : static_cast<NodeId>(rng.uniform_u64(graph.num_nodes()));
+    return engine.run(*protocol, source, config.limits);
+  });
+}
+
 TrialOutcome broadcast_trials(const Graph& graph,
                               const BroadcastOptions& options, NodeId source) {
   RRB_REQUIRE(options.trials >= 1, "need at least one trial");
@@ -138,6 +191,37 @@ TrialOutcome broadcast_trials(const Graph& graph,
   RunLimits limits;
   limits.max_rounds = options.max_rounds;
   limits.record_rounds = options.record_rounds;
+
+  if (const int batch = options.runner.batch; batch >= 1) {
+    // Batched: lockstep lanes over the shared graph, one engine call per
+    // group of `batch` trials. Streams and draw order match the
+    // sequential branch below, so the outcome is bit-identical.
+    const int trials = options.trials;
+    const int groups = (trials + batch - 1) / batch;
+    std::vector<RunResult> runs(static_cast<std::size_t>(trials));
+    ParallelRunner runner(options.runner);
+    runner.for_each_trial(groups, [&](int group) {
+      const int begin = group * batch;
+      const int end = std::min(trials, begin + batch);
+      const auto lanes = static_cast<std::size_t>(end - begin);
+      with_scheme(
+          graph, options, [&](auto proto, const ChannelConfig& channel) {
+            using Proto = decltype(proto);
+            std::vector<Proto> protos(lanes, proto);
+            std::vector<Proto*> proto_ptrs(lanes);
+            for (std::size_t b = 0; b < lanes; ++b)
+              proto_ptrs[b] = &protos[b];
+            std::vector<detail::NoMetrics> none(lanes);
+            detail::run_batched_lanes(
+                graph, channel, limits,
+                std::span<Proto* const>(proto_ptrs), options.seed, begin,
+                source, std::span<detail::NoMetrics>(none),
+                std::span<RunResult>(runs).subspan(
+                    static_cast<std::size_t>(begin), lanes));
+          });
+    });
+    return detail::reduce_runs(std::move(runs));
+  }
 
   return reduce_trials(options.trials, options.runner, [&](int trial) {
     Rng rng = Rng(options.seed).fork(static_cast<std::uint64_t>(trial));

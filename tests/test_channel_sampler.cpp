@@ -245,6 +245,44 @@ TEST(MemorySampler, FallsBackAfterRejectionBudgetWhenAllRemembered) {
   EXPECT_LT(out[0], 4U);
 }
 
+TEST(MemorySampler, UnboundedFallbackTerminatesAndStaysUniform) {
+  // The second rejection loop in ChannelSampler::choose has no try budget:
+  // it only rejects duplicates, and terminates because d > take guarantees
+  // a fresh index always exists. Pin the degenerate case the budgeted loop
+  // can never satisfy — d = take + 1 with EVERY neighbour recently called —
+  // for termination and for uniformity of what comes out: the fallback
+  // draws uniform indices and rejects only duplicates, so the distinct
+  // pair it returns is uniform over all pairs. choose() itself never
+  // touches the ring (remembering partners is the engine's job), so the
+  // fully-blocked state persists across calls and every iteration below
+  // exercises the fallback loop.
+  const Graph g = complete(4);  // node 0: neighbours 1, 2, 3 (d = 3)
+  GraphTopology topo(g);
+  ChannelSampler sampler;
+  sampler.prepare(config_of(2, 3), g.num_nodes());  // take = 2 = d - 1
+  std::array<NodeId, 3> all{};
+  for (NodeId i = 0; i < 3; ++i) all[i] = g.neighbor(0, i);
+  sampler.remember_partners(0, std::span<const NodeId>(all));
+  for (NodeId i = 0; i < 3; ++i)
+    ASSERT_TRUE(sampler.recently_called(0, all[i]));
+
+  Rng rng(19);
+  std::array<int, 3> hits{};
+  constexpr int kIterations = 3000;
+  for (int it = 0; it < kIterations; ++it) {
+    std::array<NodeId, 2> out{};
+    ASSERT_EQ(sampler.choose(topo, rng, 0, std::span<NodeId>(out)), 2U);
+    ASSERT_NE(out[0], out[1]);
+    ASSERT_LT(out[0], 3U);
+    ASSERT_LT(out[1], 3U);
+    ++hits[out[0]];
+    ++hits[out[1]];
+  }
+  // Each edge index lands in 2 of the 3 equally-likely pairs: expect
+  // kIterations * 2/3 appearances (binomial sd ~ 26; tolerance is 6 sd).
+  for (const int h : hits) EXPECT_NEAR(h, 2000, 150);
+}
+
 TEST(MemorySampler, DistinctIndicesWithinOneRound) {
   const Graph g = complete(9);  // degree 8
   GraphTopology topo(g);

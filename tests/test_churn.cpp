@@ -120,6 +120,31 @@ TEST(Churn, ReusedSlotsDoNotInheritInformedStatus) {
   EXPECT_LE(r.final_informed, 1U);
 }
 
+TEST(Churn, TotalDeathIsNotCompletion) {
+  // Regression: all_informed was `final_informed >= alive_at_end`, so a
+  // churn burst that killed every node (alive_at_end == 0) reported a
+  // vacuously "complete" broadcast with zero informed nodes, polluting
+  // completion_rate/completion_round statistics downstream. A wiped-out
+  // run must report failure.
+  Rng rng(11);
+  DynamicOverlay overlay(32, 16, 4, rng);
+  PushProtocol push;
+  PhoneCallEngine<DynamicOverlay> engine(overlay, ChannelConfig{}, rng);
+  engine.set_round_hook([&](Round) {
+    while (overlay.num_alive() > 0) {
+      const NodeId v = overlay.random_alive(rng);
+      if (overlay.leave(v, rng)) engine.notify_node_died(v);
+    }
+  });
+  RunLimits limits;
+  limits.max_rounds = 10;
+  const RunResult r = engine.run(push, NodeId{0}, limits);
+  EXPECT_EQ(r.alive_at_end, 0U);
+  EXPECT_EQ(r.final_informed, 0U);
+  EXPECT_FALSE(r.all_informed);
+  EXPECT_EQ(r.completion_round, kNever);
+}
+
 TEST(Churn, ZeroRatesDoNothing) {
   Rng rng(6);
   DynamicOverlay overlay(64, 32, 4, rng);

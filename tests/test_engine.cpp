@@ -178,6 +178,33 @@ TEST(Engine, MemoryFallsBackWhenDegreeTooSmall) {
   EXPECT_EQ(r.rounds, 1);
 }
 
+TEST(MemoryRing, FailedChannelsAreRemembered) {
+  // Deliberate semantics, pinned (see the engine's Phase B comment): a
+  // failed channel still enters the memory ring, because the call was
+  // *placed* even though no message crossed it — the sequentialised
+  // model's memory constraint is about whom you dialled, not whom you
+  // reached. K2 with failure_prob = 1: both nodes call their only
+  // neighbour, every channel fails, yet both rings record the partner.
+  const Graph g = complete(2);
+  GraphTopology topo(g);
+  Rng rng(12);
+  ChannelConfig cfg;
+  cfg.num_choices = 1;
+  cfg.memory = 3;
+  cfg.failure_prob = 1.0;
+  PhoneCallEngine<GraphTopology> engine(topo, cfg, rng);
+  PushProtocol push;
+  RunLimits limits;
+  limits.max_rounds = 1;
+  const RunResult r = engine.run(push, NodeId{0}, limits);
+  EXPECT_EQ(r.channels_failed, r.channels_opened);
+  EXPECT_EQ(r.final_informed, 1U);  // nothing was delivered
+  EXPECT_EQ(engine.sampler().memory_ring(0)[0], NodeId{1});
+  EXPECT_EQ(engine.sampler().memory_ring(1)[0], NodeId{0});
+  EXPECT_TRUE(engine.sampler().recently_called(0, 1));
+  EXPECT_TRUE(engine.sampler().recently_called(1, 0));
+}
+
 TEST(Engine, QuasirandomCoversNeighboursInDRounds) {
   // Quasirandom single choice on the star centre: the cursor walks the
   // whole neighbour list, so 4 rounds always suffice.

@@ -41,10 +41,25 @@ TEST(Runner, ChunkBoundsPartitionTrials) {
   EXPECT_THROW((void)runner.chunk_bounds(3, 9), std::logic_error);
 }
 
-TEST(Runner, DefaultChunkIsOneTrialPerTask) {
-  ParallelRunner runner{RunnerConfig{}};
-  EXPECT_EQ(runner.resolved_chunk(), 1);
+TEST(Runner, DefaultChunkIsBoundedByWorkerCount) {
+  // Regression: the default chunk was once 1 trial per task, so callers
+  // allocating one partial-reduction slot per chunk (reduce_trials) built
+  // a million slots for a million-trial sweep. The default now targets
+  // ~4 chunks per worker, independent of the trial count.
+  RunnerConfig cfg;
+  cfg.threads = 4;
+  ParallelRunner runner(cfg);
+  EXPECT_EQ(runner.resolved_chunk(1'000'000), 62'500);
+  EXPECT_EQ(runner.num_chunks(1'000'000), 16);
+  EXPECT_LE(runner.num_chunks(1'000'000), 4 * cfg.threads);
+  // Tiny sweeps still get per-trial chunks (full dynamic balancing).
+  EXPECT_EQ(runner.resolved_chunk(7), 1);
   EXPECT_EQ(runner.num_chunks(7), 7);
+  // An explicit chunk is honoured verbatim, whatever the trial count.
+  cfg.chunk = 5;
+  ParallelRunner explicit_chunk(cfg);
+  EXPECT_EQ(explicit_chunk.resolved_chunk(1'000'000), 5);
+  EXPECT_EQ(explicit_chunk.num_chunks(10), 2);
 }
 
 TEST(Runner, ExplicitThreadsResolveVerbatim) {
@@ -288,6 +303,24 @@ TEST(RunnerDeterminism, RunTrialsIdenticalForChunkedScheduling) {
       chunked.chunk = chunk;
       expect_identical(baseline, run_scheme(scheme, chunked));
     }
+  }
+}
+
+TEST(RunnerDeterminism, DefaultChunkMatchesChunkOne) {
+  // The bounded default chunk (satellite of the batched-engine PR) must
+  // not change any output: chunks are contiguous ascending trial ranges
+  // reduced in chunk order, so per-trial samples enter the Summaries in
+  // trial order for every chunking. threads = 2 over 9 trials defaults to
+  // chunk = 2 — a genuine multi-trial chunk, unlike the old default of 1.
+  for (const SchemeCase& scheme : scheme_cases()) {
+    SCOPED_TRACE(scheme.name);
+    RunnerConfig one;
+    one.threads = 2;
+    one.chunk = 1;
+    const TrialOutcome baseline = run_scheme(scheme, one);
+    RunnerConfig defaulted;
+    defaulted.threads = 2;
+    expect_identical(baseline, run_scheme(scheme, defaulted));
   }
 }
 
