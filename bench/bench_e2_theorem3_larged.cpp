@@ -1,6 +1,12 @@
 /// E2 — Theorem 3 (large degrees): Algorithm 2 broadcasts on G(n,d) with
 /// d = Theta(log n), within O(log n) rounds and O(n log log n)
 /// transmissions, using the α·log log n pull tail instead of phase 4.
+///
+/// Thin driver over the campaign subsystem: the n sweep (with the derived
+/// d = 2log2n degree rule) lives in
+/// bench/campaigns/e2_theorem3_larged.campaign and runs through rrb::exp
+/// (cell seeds derive from (campaign_seed, cell_key) — the campaign
+/// seeding contract); this binary only renders the paper table and fits.
 
 #include "bench_util.hpp"
 
@@ -13,34 +19,37 @@ int main() {
          "claim: rounds = O(log n); transmissions/node = O(log log n) via "
          "pull tail (Algorithm 2)");
 
+  const exp::CampaignSpec spec =
+      exp::load_spec(campaign_path("e2_theorem3_larged"));
+  exp::CampaignRunner runner(spec, {});
+  const exp::CampaignOutcome out = runner.run();
+
   Table table({"n", "d", "rounds", "done@", "ok", "tx/node", "pull share"});
-  table.set_title("Algorithm 2 on G(n, 2 log n) (5 trials)");
+  table.set_title("Algorithm 2 on G(n, 2 log n) (" +
+                  std::to_string(spec.trials) + " trials)");
 
   std::vector<double> lgs, rounds, tx;
-  for (const NodeId n :
-       {1U << 10, 1U << 12, 1U << 14, 1U << 16, 1U << 17}) {
+  for (const NodeId n : spec.n_values) {
+    const exp::JsonObject& record = find_record(
+        out.cells, [n](const exp::CampaignCell& c) { return c.n == n; });
     const double lg = std::log2(static_cast<double>(n));
-    const NodeId d = 2 * static_cast<NodeId>(std::ceil(lg));
-
-    TrialConfig cfg;
-    cfg.trials = 5;
-    cfg.seed = 0xe2 + n;
-    cfg.channel.num_choices = 4;
-    const TrialOutcome out = run_trials(
-        regular_graph(n, d), four_choice_large_d_protocol(n), cfg);
+    const double done = record_number(record, "completion_mean");
+    const double tx_node = record_number(record, "tx_per_node_mean");
+    const double push = record_number(record, "push_tx_mean");
+    const double pull = record_number(record, "pull_tx_mean");
 
     table.begin_row();
     table.add(static_cast<std::uint64_t>(n));
-    table.add(static_cast<std::uint64_t>(d));
-    table.add(out.rounds.mean, 1);
-    table.add(out.completion_round.mean, 1);
-    table.add(out.completion_rate, 2);
-    table.add(out.tx_per_node.mean, 2);
-    table.add(out.pull_tx.mean / (out.push_tx.mean + out.pull_tx.mean), 2);
+    table.add(static_cast<std::uint64_t>(record_number(record, "d")));
+    table.add(record_number(record, "rounds_mean"), 1);
+    table.add(done, 1);
+    table.add(record_number(record, "completion_rate"), 2);
+    table.add(tx_node, 2);
+    table.add(pull / (push + pull), 2);
 
     lgs.push_back(lg);
-    rounds.push_back(out.completion_round.mean);
-    tx.push_back(out.tx_per_node.mean);
+    rounds.push_back(done);
+    tx.push_back(tx_node);
   }
   std::cout << table << "\n";
   print_fit("completion rounds vs log2 n", lgs, rounds);

@@ -2,6 +2,12 @@
 /// four distinct choices, conjectures three suffice, and leaves two open.
 /// We run the same phase schedule with k = 1..6 channel choices and report
 /// completion rate, coverage and transmissions.
+///
+/// Thin driver over the campaign subsystem: the k sweep lives in
+/// bench/campaigns/e9_choices_ablation.campaign as a `choices` axis
+/// (overriding ChannelConfig::num_choices per cell) and runs through
+/// rrb::exp (cell seeds derive from (campaign_seed, cell_key) — the
+/// campaign seeding contract); this binary only renders the paper table.
 
 #include "bench_util.hpp"
 
@@ -13,36 +19,29 @@ int main() {
          "claim: k = 4 completes with O(n log log n) tx; paper conjectures "
          "k = 3 suffices; k <= 2 open");
 
-  const NodeId n = 1 << 14;
-  const NodeId d = 8;
+  const exp::CampaignSpec spec =
+      exp::load_spec(campaign_path("e9_choices_ablation"));
+  exp::CampaignRunner runner(spec, {});
+  const exp::CampaignOutcome out = runner.run();
+
+  const NodeId n = spec.n_values.front();
 
   Table table({"choices k", "ok", "coverage", "done@", "tx/node",
                "uninformed left"});
   table.set_title("Algorithm 1 schedule with k channel choices, n = 2^14, "
-                  "d = 8 (10 trials)");
-  for (const int k : {1, 2, 3, 4, 5, 6}) {
-    TrialConfig cfg;
-    cfg.trials = 10;
-    cfg.seed = 0xe9 + static_cast<std::uint64_t>(k);
-    cfg.channel.num_choices = k;
-    const TrialOutcome out =
-        run_trials(regular_graph(n, d), four_choice_protocol(n), cfg);
-    double coverage = 0.0;
-    double left = 0.0;
-    for (const RunResult& r : out.runs) {
-      coverage += static_cast<double>(r.final_informed) /
-                  static_cast<double>(r.n);
-      left += static_cast<double>(r.n - r.final_informed);
-    }
-    coverage /= static_cast<double>(out.runs.size());
-    left /= static_cast<double>(out.runs.size());
+                  "d = " + std::to_string(spec.d_values.front()) + " (" +
+                  std::to_string(spec.trials) + " trials)");
+  for (const int k : spec.choices) {
+    const exp::JsonObject& record = find_record(
+        out.cells, [k](const exp::CampaignCell& c) { return c.choices == k; });
+    const double coverage = record_number(record, "coverage_mean");
     table.begin_row();
     table.add(k);
-    table.add(out.completion_rate, 2);
+    table.add(record_number(record, "completion_rate"), 2);
     table.add(coverage, 6);
-    table.add(out.completion_round.mean, 1);
-    table.add(out.tx_per_node.mean, 2);
-    table.add(left, 1);
+    table.add(record_number(record, "completion_mean"), 1);
+    table.add(record_number(record, "tx_per_node_mean"), 2);
+    table.add((1.0 - coverage) * static_cast<double>(n), 1);
   }
   std::cout << table << "\n";
   std::cout << "expected shape: k >= 3 completes reliably (supporting the "

@@ -34,6 +34,15 @@
 ///   rrb_campaign --spec S --shard 0/2 --out shards/s0
 ///   rrb_campaign --spec S --shard 1/2 --out shards/s1
 ///   rrb_campaign --spec S --merge 'shards/s*' --out merged
+///
+/// --distribute K forks K worker processes over one artifact directory.
+/// Workers claim cells dynamically (one O_CREAT|O_EXCL claim file per
+/// cell — work stealing, not a static split), journal completed cells like
+/// shards do, and are supervised: a crashed worker's claims are released
+/// and it is respawned up to a retry budget, resuming from its journal.
+/// The artifacts are byte-identical to a single-process run for any K and
+/// any crash history — distribution is scheduling, never semantics:
+///   rrb_campaign --spec S --distribute 4 --threads 1 --out swept
 
 #include <algorithm>
 #include <exception>
@@ -49,6 +58,7 @@
 
 #include "rrb/common/table.hpp"
 #include "rrb/exp/campaign.hpp"
+#include "rrb/exp/distribute.hpp"
 
 namespace {
 
@@ -58,6 +68,10 @@ struct Options {
   std::string out_dir;  // empty = derive from campaign name; "none" = memory
   std::vector<std::string> merge_sources;  // dirs or globs of shard outputs
   rrb::exp::CampaignConfig config;
+  int distribute = 0;        // worker processes; 0 = run in this process
+  int respawn_budget = -1;   // -1 = distribute_campaign default
+  int worker_id = -1;        // >= 0: hidden worker mode (spawned by driver)
+  int worker_crash_after = -1;  // test hook, forwarded to worker 0
   bool list = false;
   bool quiet = false;
 };
@@ -65,9 +79,10 @@ struct Options {
 void usage() {
   std::cout <<
       "usage: rrb_campaign [--spec FILE] [--set key=value ...] [--out DIR]\n"
-      "                    [--threads W] [--chunk C] [--parallel-cells]\n"
-      "                    [--shard I/K] [--merge DIR-OR-GLOB ...] [--list]\n"
-      "                    [--quiet]\n"
+      "                    [--threads W] [--chunk C] [--batch B]\n"
+      "                    [--parallel-cells] [--shard I/K]\n"
+      "                    [--merge DIR-OR-GLOB ...] [--distribute K]\n"
+      "                    [--respawn-budget N] [--list] [--quiet]\n"
       "\n"
       "  --spec FILE      campaign spec file (key = value lines; see\n"
       "                   bench/campaigns/*.campaign)\n"
@@ -78,6 +93,8 @@ void usage() {
       "  --threads W      worker threads (default 0 = auto: $RRB_THREADS,\n"
       "                   else hardware cores); never changes the results\n"
       "  --chunk C        trials per scheduling task (default 0 = auto)\n"
+      "  --batch B        trials per lockstep engine step on fixed-topology\n"
+      "                   paths (default 0 = sequential); same output\n"
       "  --parallel-cells fan cells (not trials) across the pool — faster\n"
       "                   for grids of many small cells, same output\n"
       "  --shard I/K      run only cells with index %% K == I\n"
@@ -86,6 +103,12 @@ void usage() {
       "                   last component may contain '*'). Manifests must\n"
       "                   carry this spec's fingerprint; merged cells are\n"
       "                   reused, not recomputed\n"
+      "  --distribute K   fork K supervised worker processes that claim\n"
+      "                   cells dynamically over --out (crash recovery via\n"
+      "                   journals; artifacts byte-identical to K=1)\n"
+      "  --respawn-budget N\n"
+      "                   total crashed-worker respawns before giving up\n"
+      "                   (default 2*K); leftover cells run in-process\n"
       "  --list           print the expanded cells and exit\n"
       "  --quiet          suppress per-cell progress lines\n";
 }
@@ -175,6 +198,10 @@ std::size_t merge_manifests(const std::vector<std::string>& patterns,
           continue;
         }
       }
+      // A damaged line — unparseable (e.g. the truncated tail a killed
+      // shard left) or parseable but keyless — must not spread into the
+      // merged manifest; the loader there would only skip it again.
+      if (!parsed || !parsed->find_plain("key")) continue;
       if (!source_verified)
         throw std::runtime_error(
             "--merge: " + manifest.string() +
@@ -248,7 +275,16 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (flag == "--out") opt.out_dir = next();
     else if (flag == "--threads") opt.config.runner.threads = std::stoi(next());
     else if (flag == "--chunk") opt.config.runner.chunk = std::stoi(next());
+    else if (flag == "--batch") opt.config.runner.batch = std::stoi(next());
     else if (flag == "--parallel-cells") opt.config.parallel_cells = true;
+    else if (flag == "--distribute") opt.distribute = std::stoi(next());
+    else if (flag == "--respawn-budget") opt.respawn_budget = std::stoi(next());
+    // Hidden: how the driver runs this binary as a claim-loop worker, and
+    // the crash-recovery fixtures' one-shot SIGKILL hook (a flag, not an
+    // environment variable, so the worker environment stays inert).
+    else if (flag == "--worker") opt.worker_id = std::stoi(next());
+    else if (flag == "--worker-crash-after")
+      opt.worker_crash_after = std::stoi(next());
     else if (flag == "--shard") {
       const std::string shard = next();
       const std::size_t slash = shard.find('/');
@@ -266,7 +302,23 @@ bool parse(int argc, char** argv, Options& opt) {
     throw std::runtime_error("--threads must be >= 0");
   if (opt.config.runner.chunk < 0)
     throw std::runtime_error("--chunk must be >= 0");
+  if (opt.config.runner.batch < 0)
+    throw std::runtime_error("--batch must be >= 0");
+  if (opt.distribute < 0)
+    throw std::runtime_error("--distribute must be >= 1");
+  if (opt.distribute > 0 && opt.config.shard_count > 1)
+    throw std::runtime_error(
+        "--distribute and --shard do not compose: workers already split the "
+        "grid dynamically (use --shard alone for a static split)");
   return true;
+}
+
+/// This binary's own path, for the driver to re-exec as workers.
+std::string self_exe_path(const char* argv0) {
+  std::error_code ec;
+  const fs::path exe = fs::read_symlink("/proc/self/exe", ec);
+  if (!ec) return exe.string();
+  return argv0;  // non-Linux fallback; fine as long as argv[0] is runnable
 }
 
 /// A record field for the summary table, or "-" when the cell's execution
@@ -285,6 +337,28 @@ int main(int argc, char** argv) {
   try {
     if (!parse(argc, argv, opt)) {
       usage();
+      return 0;
+    }
+
+    // Hidden worker mode: claim and compute cells over the driver's
+    // campaign directory, then exit. The spec comes from the resolved-spec
+    // file the driver wrote — never from this process's own flags — so a
+    // worker cannot drift from the campaign it serves.
+    if (opt.worker_id >= 0) {
+      if (opt.out_dir.empty() || opt.out_dir == "none")
+        throw std::runtime_error("--worker needs the driver's --out DIR");
+      exp::WorkerConfig worker;
+      worker.worker_id = opt.worker_id;
+      worker.out_dir = opt.out_dir;
+      worker.runner = opt.config.runner;
+      worker.quiet = opt.quiet;
+      worker.crash_after = opt.worker_crash_after;
+      const exp::CampaignSpec spec =
+          exp::load_spec(exp::resolved_spec_path(opt.out_dir));
+      const std::size_t computed = exp::run_worker(spec, worker);
+      if (!opt.quiet)
+        std::cout << "[w" << opt.worker_id << "] done, " << computed
+                  << " cells computed\n";
       return 0;
     }
 
@@ -309,6 +383,32 @@ int main(int argc, char** argv) {
           opt.merge_sources, opt.config.out_dir, fingerprint.str());
       std::cout << "merged " << merged << " cell records into "
                 << opt.config.out_dir << "/manifest.jsonl\n";
+    }
+
+    // Distribute phase: fork the worker fleet and supervise it until the
+    // grid is claimed and journaled, then fall through to the ordinary
+    // in-process run — it reuses every merged cell, computes any cells a
+    // permanently-failed worker abandoned, and writes the final artifacts,
+    // byte-identical to a single-process run.
+    if (opt.distribute > 0 && !opt.list) {
+      if (opt.config.out_dir.empty())
+        throw std::runtime_error(
+            "--distribute needs a persistent --out directory");
+      exp::DistributeConfig dist;
+      dist.workers = opt.distribute;
+      dist.respawn_budget = opt.respawn_budget;
+      dist.runner = opt.config.runner;
+      dist.out_dir = opt.config.out_dir;
+      dist.quiet = opt.quiet;
+      dist.crash_worker0_after = opt.worker_crash_after;
+      const exp::DistributeReport report =
+          exp::distribute_campaign(spec, dist, self_exe_path(argv[0]));
+      std::cout << "[distribute] " << opt.distribute << " workers over "
+                << report.cells << " cells: " << report.merged_after
+                << " computed, " << report.merged_before
+                << " reused from worker journals, " << report.respawns
+                << " respawns, " << report.failed_workers
+                << " workers abandoned\n";
     }
 
     exp::CampaignRunner runner(std::move(spec), opt.config);

@@ -1,0 +1,27 @@
+# Byte-compare the deterministic campaign artifacts of one or more
+# directories against a reference run:
+#
+#   cmake -DREF=<dir> -DDIRS=<d1>,<d2>,... -P RRBCompareArtifacts.cmake
+#
+# Compares results.jsonl, results.csv and campaign.json — the files the
+# determinism contract covers. manifest.jsonl is line-order-dependent
+# (journal append order) and timing.jsonl is a wall-clock side channel, so
+# neither is diffed here.
+if(NOT REF OR NOT DIRS)
+  message(FATAL_ERROR "usage: cmake -DREF=<dir> -DDIRS=<d1>,<d2>,... -P RRBCompareArtifacts.cmake")
+endif()
+string(REPLACE "," ";" dirs "${DIRS}")
+foreach(dir IN LISTS dirs)
+  foreach(file results.jsonl results.csv campaign.json)
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files ${REF}/${file} ${dir}/${file}
+      RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "${dir}/${file} differs from ${REF}/${file} — distribution changed "
+        "the artifacts (the 'scheduling, never semantics' invariant is "
+        "broken)")
+    endif()
+  endforeach()
+  message(STATUS "${dir}: artifacts byte-identical to ${REF}")
+endforeach()

@@ -72,6 +72,12 @@ struct BroadcastOptions {
   /// canonical value (3 for kSequentialised, 0 elsewhere).
   int memory = -1;
 
+  /// Override the scheme's channels per round (ChannelConfig::num_choices):
+  /// the k of a k-choice ablation (E9 sweeps k around the paper's 4). 0
+  /// keeps the scheme's canonical value (4 for kFourChoice, 1 for
+  /// kSequentialised and the classical baselines).
+  int num_choices = 0;
+
   /// Quasirandom channel selection (Doerr–Friedrich–Sauerwald): nodes walk
   /// their neighbour list cyclically from a random start instead of
   /// sampling. Mutually exclusive with a positive memory window, so

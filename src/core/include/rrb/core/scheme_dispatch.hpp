@@ -80,6 +80,7 @@ decltype(auto) with_scheme(const SchemeShape& shape,
   // canonical pairing right before the visitor runs.
   auto finish = [&](auto proto) -> decltype(auto) {
     if (options.memory >= 0) channel.memory = options.memory;
+    if (options.num_choices > 0) channel.num_choices = options.num_choices;
     channel.quasirandom = options.quasirandom;
     return visit(std::move(proto), channel);
   };

@@ -6,11 +6,13 @@
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "rrb/core/scheme_dispatch.hpp"
+#include "rrb/exp/journal.hpp"
 #include "rrb/graph/generators.hpp"
 #include "rrb/metrics/registry.hpp"
 #include "rrb/p2p/churn.hpp"
@@ -41,6 +43,7 @@ namespace {
   options.alpha = cell.alpha;
   options.failure_prob = cell.failure;
   options.quasirandom = cell.quasirandom;
+  options.num_choices = cell.choices;  // 0 = scheme canonical
   options.max_rounds = spec.max_rounds;
   return options;
 }
@@ -299,52 +302,19 @@ CampaignOutcome CampaignRunner::run(const CellProgress& progress) {
   const std::string fingerprint = to_hex(spec_fingerprint(spec_));
 
   // ---- Load the journal: completed cells from earlier (possibly
-  // interrupted, possibly sharded) runs of this same spec.
+  // interrupted, possibly sharded) runs of this same spec. The loader
+  // skips a truncated final line (a run killed mid-write) and the writer
+  // cuts that partial tail before appending — that cell just recomputes,
+  // bit-identically.
   std::map<std::string, JsonObject> journal;
-  std::ofstream journal_out;
+  std::optional<JournalWriter> journal_out;
   if (persist) {
     fs::create_directories(config_.out_dir);
     outcome.manifest_path = config_.out_dir + "/manifest.jsonl";
-    bool saw_header = false;
-    std::ifstream in(outcome.manifest_path);
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-      auto parsed = parse_flat_json(line);
-      if (!parsed) continue;  // damaged line: the cell just re-runs
-      if (const auto fp = parsed->find_plain("fingerprint")) {
-        if (*fp != fingerprint)
-          throw std::runtime_error(
-              outcome.manifest_path +
-              " was written by a different campaign spec (fingerprint " +
-              std::string(*fp) + ", this spec is " + fingerprint +
-              ") — refusing to resume into it");
-        saw_header = true;
-        continue;
-      }
-      if (const auto key = parsed->find_plain("key"))
-        journal.insert_or_assign(std::string(*key), std::move(*parsed));
-    }
-    in.close();
-    // Records without any fingerprint header cannot be attributed to a
-    // spec — reusing them could silently mix incompatible results (e.g. a
-    // different trial count, which the cell key does not encode).
-    if (!saw_header && !journal.empty())
-      throw std::runtime_error(
-          outcome.manifest_path +
-          " holds cell records but no campaign header line — cannot "
-          "verify they belong to this spec; restore the header or delete "
-          "the manifest to recompute");
-    journal_out.open(outcome.manifest_path, std::ios::app);
-    if (!journal_out)
-      throw std::runtime_error("cannot write " + outcome.manifest_path);
-    if (!saw_header) {
-      JsonObject header;
-      header.set("campaign", spec_.name)
-          .set("fingerprint", fingerprint)
-          .set("cells", static_cast<std::uint64_t>(cells_.size()));
-      journal_out << header.to_line() << "\n" << std::flush;
-    }
+    Journal loaded = load_journal(outcome.manifest_path, fingerprint);
+    journal_out.emplace(outcome.manifest_path, loaded, spec_.name,
+                        fingerprint, cells_.size());
+    journal = std::move(loaded.records);
   }
 
   // Timing side channel (see campaign.hpp): wall time per freshly computed
@@ -399,7 +369,7 @@ CampaignOutcome CampaignRunner::run(const CellProgress& progress) {
   // already resumable.
   auto complete = [&](std::size_t i) {
     if (persist && !outcome.cells[i].reused)
-      journal_out << outcome.cells[i].record.to_line() << "\n" << std::flush;
+      journal_out->append(outcome.cells[i].record);
     record_timing(i);
     if (progress) progress(outcome.cells[i]);
   };
@@ -446,7 +416,7 @@ CampaignOutcome CampaignRunner::run(const CellProgress& progress) {
   // results to its own subset; cells no shard has produced yet are simply
   // absent until a run computes them.
   if (persist) {
-    journal_out.close();
+    journal_out->close();
 
     std::vector<const JsonObject*> final_records;
     final_records.reserve(cells_.size());

@@ -75,6 +75,17 @@ struct CampaignSpec {
   std::vector<double> failures{0.0};
   std::vector<double> churn_rates{0.0};
 
+  /// Channels-per-round override axis (the k-choice ablation, E9): value k
+  /// > 0 overrides the scheme's canonical ChannelConfig::num_choices; 0 —
+  /// the default — keeps it, adds no key part and changes no fingerprint.
+  std::vector<int> choices{0};
+
+  /// Derive each cell's degree from its n as d = 2·ceil(log2 n) (the E2 /
+  /// Theorem 3 large-degree regime) instead of taking the d axis. Spec
+  /// syntax: `d = 2log2n`. Default off, so plain specs keep their
+  /// fingerprints.
+  bool derived_d = false;
+
   // ---- Overlay parameters. Cells with churn > 0 always run on a
   // DynamicOverlay (`joins = leaves = churn` expected events per round);
   // `overlay = true` forces the overlay path for churn-0 cells too, so a
@@ -109,6 +120,7 @@ struct CampaignCell {
   double alpha = 1.5;
   double failure = 0.0;
   double churn = 0.0;
+  int choices = 0;         ///< num_choices override; 0 = scheme canonical
   bool overlay = false;    ///< runs on the dynamic overlay (churn > 0 or
                            ///< spec.overlay)
   std::string key;         ///< canonical cell key (see cell_key)
@@ -117,7 +129,10 @@ struct CampaignCell {
 
 /// Canonical cell key: `scheme=<s>;qr=<0|1>;graph=<g>;n=<n>;d=<d>;
 /// alpha=<a>;failure=<f>;churn=<c>`, with
-/// `;overlay=1;switches=<k>;headroom=<h>` appended for overlay cells.
+/// `;overlay=1;switches=<k>;headroom=<h>` appended for overlay cells and
+/// `;choices=<k>` appended when the cell overrides num_choices — optional
+/// parts only appear when non-default, so existing keys (and their seeds)
+/// never move when the spec grammar grows.
 /// Doubles render via format_double, so the key is platform-independent.
 /// Golden-pinned in tests/test_campaign.cpp.
 [[nodiscard]] std::string cell_key(const CampaignCell& cell,

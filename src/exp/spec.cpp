@@ -147,6 +147,7 @@ std::string cell_key(const CampaignCell& cell, const CampaignSpec& spec) {
     key += ";switches=" + std::to_string(spec.churn_switches);
     key += ";headroom=" + format_double(spec.churn_headroom);
   }
+  if (cell.choices > 0) key += ";choices=" + std::to_string(cell.choices);
   return key;
 }
 
@@ -164,11 +165,15 @@ namespace {
          family == GraphFamily::kComplete;
 }
 
-[[nodiscard]] NodeId derived_degree(GraphFamily family, NodeId n) {
-  if (family == GraphFamily::kComplete) return n - 1;
+[[nodiscard]] NodeId ceil_log2(NodeId n) {
   NodeId dim = 0;
   while ((NodeId{1} << dim) < n) ++dim;
-  return dim;  // hypercube
+  return dim;
+}
+
+[[nodiscard]] NodeId derived_degree(GraphFamily family, NodeId n) {
+  if (family == GraphFamily::kComplete) return n - 1;
+  return ceil_log2(n);  // hypercube
 }
 
 }  // namespace
@@ -177,12 +182,20 @@ std::vector<CampaignCell> expand_cells(const CampaignSpec& spec) {
   if (spec.trials < 1) fail("campaign needs trials >= 1");
   if (spec.schemes.empty() || spec.quasirandom.empty() ||
       spec.n_values.empty() || spec.d_values.empty() || spec.alphas.empty() ||
-      spec.failures.empty() || spec.churn_rates.empty())
+      spec.failures.empty() || spec.churn_rates.empty() ||
+      spec.choices.empty())
     fail("campaign axes must be non-empty");
   if (family_ignores_d(spec.graph) && spec.d_values.size() > 1)
     fail(std::string(graph_family_name(spec.graph)) +
          " derives the degree from n — a d axis with multiple values "
          "would duplicate identical cells; give a single d");
+  if (spec.derived_d && family_ignores_d(spec.graph))
+    fail(std::string(graph_family_name(spec.graph)) +
+         " already derives the degree from n — 'd = 2log2n' is redundant "
+         "and would shadow the family's rule");
+  if (spec.derived_d && spec.d_values.size() > 1)
+    fail("'d = 2log2n' derives the degree from n — a d axis with multiple "
+         "values would duplicate identical cells");
 
   std::vector<CampaignCell> cells;
   for (const BroadcastScheme scheme : spec.schemes)
@@ -191,46 +204,51 @@ std::vector<CampaignCell> expand_cells(const CampaignSpec& spec) {
         for (const NodeId d : spec.d_values)
           for (const double alpha : spec.alphas)
             for (const double failure : spec.failures)
-              for (const double churn : spec.churn_rates) {
-                CampaignCell cell;
-                cell.index = cells.size();
-                cell.scheme = scheme;
-                cell.quasirandom = qr;
-                cell.graph = spec.graph;
-                cell.n = n;
-                cell.d = d;
-                cell.alpha = alpha;
-                cell.failure = failure;
-                cell.churn = churn;
-                cell.overlay = spec.overlay || churn > 0.0;
-                if (cell.n < 2)
-                  fail("cell n must be >= 2");
-                // Negated comparisons so NaN axis values fail validation
-                // instead of slipping through as a bogus grid point.
-                if (!std::isfinite(alpha)) fail("alpha must be finite");
-                if (!(churn >= 0.0) || !std::isfinite(churn))
-                  fail("churn rate must be finite and >= 0");
-                if (!(failure >= 0.0 && failure <= 1.0))
-                  fail("failure probability must be in [0, 1]");
-                // Mirrors the canonical channel pairing: the sequentialised
-                // scheme's memory window is mutually exclusive with
-                // quasirandom selection, so fail at expansion instead of
-                // mid-campaign at engine construction.
-                if (qr && scheme == BroadcastScheme::kSequentialised)
-                  fail("quasirandom cannot combine with the sequentialised "
-                       "scheme's memory window");
-                if (family_ignores_d(spec.graph))
-                  cell.d = derived_degree(spec.graph, cell.n);
-                if (cell.overlay && spec.graph != GraphFamily::kRegular)
-                  fail("overlay (churn) cells run on the dynamic overlay "
-                       "and need graph = regular");
-                if (spec.graph == GraphFamily::kHypercube &&
-                    (cell.n & (cell.n - 1)) != 0)
-                  fail("hypercube cells need n to be a power of two");
-                cell.key = cell_key(cell, spec);
-                cell.seed = cell_seed(spec.seed, cell.key);
-                cells.push_back(std::move(cell));
-              }
+              for (const double churn : spec.churn_rates)
+                for (const int choices : spec.choices) {
+                  CampaignCell cell;
+                  cell.index = cells.size();
+                  cell.scheme = scheme;
+                  cell.quasirandom = qr;
+                  cell.graph = spec.graph;
+                  cell.n = n;
+                  cell.d = spec.derived_d ? 2 * ceil_log2(n) : d;
+                  cell.alpha = alpha;
+                  cell.failure = failure;
+                  cell.churn = churn;
+                  cell.choices = choices;
+                  cell.overlay = spec.overlay || churn > 0.0;
+                  if (cell.n < 2)
+                    fail("cell n must be >= 2");
+                  if (choices < 0 || choices > (1 << 10))
+                    fail("choices out of range");
+                  // Negated comparisons so NaN axis values fail validation
+                  // instead of slipping through as a bogus grid point.
+                  if (!std::isfinite(alpha)) fail("alpha must be finite");
+                  if (!(churn >= 0.0) || !std::isfinite(churn))
+                    fail("churn rate must be finite and >= 0");
+                  if (!(failure >= 0.0 && failure <= 1.0))
+                    fail("failure probability must be in [0, 1]");
+                  // Mirrors the canonical channel pairing: the
+                  // sequentialised scheme's memory window is mutually
+                  // exclusive with quasirandom selection, so fail at
+                  // expansion instead of mid-campaign at engine
+                  // construction.
+                  if (qr && scheme == BroadcastScheme::kSequentialised)
+                    fail("quasirandom cannot combine with the "
+                         "sequentialised scheme's memory window");
+                  if (family_ignores_d(spec.graph))
+                    cell.d = derived_degree(spec.graph, cell.n);
+                  if (cell.overlay && spec.graph != GraphFamily::kRegular)
+                    fail("overlay (churn) cells run on the dynamic overlay "
+                         "and need graph = regular");
+                  if (spec.graph == GraphFamily::kHypercube &&
+                      (cell.n & (cell.n - 1)) != 0)
+                    fail("hypercube cells need n to be a power of two");
+                  cell.key = cell_key(cell, spec);
+                  cell.seed = cell_seed(spec.seed, cell.key);
+                  cells.push_back(std::move(cell));
+                }
   return cells;
 }
 
@@ -262,7 +280,10 @@ std::string describe(const CampaignSpec& spec) {
   out += "n = ";
   append_axis_u32(out, spec.n_values);
   out += "\nd = ";
-  append_axis_u32(out, spec.d_values);
+  if (spec.derived_d)
+    out += "2log2n";
+  else
+    append_axis_u32(out, spec.d_values);
   out += "\nalpha = ";
   append_axis_double(out, spec.alphas);
   out += "\nfailure = ";
@@ -273,6 +294,17 @@ std::string describe(const CampaignSpec& spec) {
          "\n";
   out += "churn_switches = " + std::to_string(spec.churn_switches) + "\n";
   out += "churn_headroom = " + format_double(spec.churn_headroom) + "\n";
+  // Like metrics below: the choices axis is emitted only when it deviates
+  // from the canonical {0}, so pre-existing specs keep their describe()
+  // bytes and therefore their fingerprints.
+  if (spec.choices.size() != 1 || spec.choices[0] != 0) {
+    out += "choices = ";
+    for (std::size_t i = 0; i < spec.choices.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += std::to_string(spec.choices[i]);
+    }
+    out += "\n";
+  }
   // Emitted only when non-empty so a metric-less spec's describe() (and
   // campaign.json echo) is byte-stable regardless of metrics support.
   if (!spec.metrics.empty()) {
@@ -337,17 +369,29 @@ void apply_setting(CampaignSpec& spec, std::string_view key,
       return static_cast<NodeId>(n);
     });
   } else if (key == "d") {
-    spec.d_values = parse_axis<NodeId>(value, [](std::string_view v) {
-      const std::uint64_t d = parse_u64(v);
-      if (d < 1 || d > (1ULL << 20)) fail("d out of range");
-      return static_cast<NodeId>(d);
-    });
+    if (value == "2log2n") {
+      spec.derived_d = true;
+      spec.d_values = {1};  // placeholder; expand_cells derives per cell
+    } else {
+      spec.derived_d = false;
+      spec.d_values = parse_axis<NodeId>(value, [](std::string_view v) {
+        const std::uint64_t d = parse_u64(v);
+        if (d < 1 || d > (1ULL << 20)) fail("d out of range");
+        return static_cast<NodeId>(d);
+      });
+    }
   } else if (key == "alpha") {
     spec.alphas = parse_axis<double>(value, parse_double);
   } else if (key == "failure") {
     spec.failures = parse_axis<double>(value, parse_double);
   } else if (key == "churn") {
     spec.churn_rates = parse_axis<double>(value, parse_double);
+  } else if (key == "choices") {
+    spec.choices = parse_axis<int>(value, [](std::string_view v) {
+      const std::uint64_t k = parse_u64(v);
+      if (k > (1U << 10)) fail("choices out of range");
+      return static_cast<int>(k);
+    });
   } else if (key == "overlay") {
     spec.overlay = parse_bool(value);
   } else if (key == "churn_switches") {
