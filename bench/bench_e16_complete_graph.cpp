@@ -2,6 +2,11 @@
 /// push&pull terminates itself after log3 n + O(log log n) rounds with
 /// O(n log log n) transmissions (the result the paper's abstract contrasts
 /// against, and the source of its termination machinery).
+///
+/// Thin driver over the campaign subsystem: the n sweep lives in
+/// bench/campaigns/e16_complete_graph.campaign and runs through rrb::exp
+/// (cell seeds derive from (campaign_seed, cell_key) — the campaign
+/// seeding contract); this binary only renders the paper table and fit.
 
 #include "bench_util.hpp"
 
@@ -13,31 +18,34 @@ int main() {
          "claim: rounds = log3 n + O(log log n); transmissions = "
          "O(n log log n)");
 
+  const exp::CampaignSpec spec =
+      exp::load_spec(campaign_path("e16_complete_graph"));
+  exp::CampaignRunner runner(spec, {});
+  const exp::CampaignOutcome out = runner.run();
+
   Table table({"n", "log3(n)", "done@", "rounds", "tx/node",
                "tx/(n lglg n)", "ok"});
-  table.set_title("median-counter push&pull on the complete graph "
-                  "(5 trials)");
+  table.set_title("median-counter push&pull on the complete graph (" +
+                  std::to_string(spec.trials) + " trials)");
 
   std::vector<double> lgs, done;
-  for (const NodeId n : {1U << 8, 1U << 9, 1U << 10, 1U << 11, 1U << 12,
-                         1U << 13}) {
-    TrialConfig cfg;
-    cfg.trials = 5;
-    cfg.seed = 0xf16 + n;
-    const TrialOutcome out = run_trials(
-        [n](Rng&) { return complete(n); }, median_counter_protocol(n), cfg);
+  for (const NodeId n : spec.n_values) {
+    const exp::JsonObject& record = find_record(
+        out.cells, [n](const exp::CampaignCell& c) { return c.n == n; });
     const double log3 = std::log(static_cast<double>(n)) / std::log(3.0);
     const double lglg = std::log2(std::log2(static_cast<double>(n)));
+    const double done_at = record_number(record, "completion_mean");
+    const double tx_node = record_number(record, "tx_per_node_mean");
     table.begin_row();
     table.add(static_cast<std::uint64_t>(n));
     table.add(log3, 2);
-    table.add(out.completion_round.mean, 1);
-    table.add(out.rounds.mean, 1);
-    table.add(out.tx_per_node.mean, 2);
-    table.add(out.tx_per_node.mean / lglg, 2);
-    table.add(out.completion_rate, 2);
+    table.add(done_at, 1);
+    table.add(record_number(record, "rounds_mean"), 1);
+    table.add(tx_node, 2);
+    table.add(tx_node / lglg, 2);
+    table.add(record_number(record, "completion_rate"), 2);
     lgs.push_back(std::log2(static_cast<double>(n)));
-    done.push_back(out.completion_round.mean);
+    done.push_back(done_at);
   }
   std::cout << table << "\n";
   print_fit("completion rounds vs log2 n", lgs, done);

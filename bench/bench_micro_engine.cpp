@@ -83,8 +83,11 @@ void run_all() {
   bench::BenchReport json("micro_engine");
   json.set("n", static_cast<std::uint64_t>(n)).set("d", 8);
 
-  Rng grng(4);
-  const Graph g = random_regular_simple(n, 8, grng);
+  const Graph g = [&json, n] {
+    const bench::Phase phase(json, "graph_setup");
+    Rng grng(4);
+    return random_regular_simple(n, 8, grng);
+  }();
 
   std::printf("%-28s %11s  %12s  %15s  %18s\n", "scenario", "iters",
               "wall", "rounds/s", "node-rounds/s");
@@ -218,6 +221,7 @@ void run_all() {
   }
 
   {
+    const bench::Phase phase(json, "generators");
     Rng rng(13);
     const auto start = Clock::now();
     int iters = 0;

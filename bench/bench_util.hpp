@@ -33,6 +33,7 @@
 #include "rrb/sim/runner.hpp"
 #include "rrb/sim/trace.hpp"
 #include "rrb/sim/trial.hpp"
+#include "rrb/telemetry/telemetry.hpp"
 
 // Git revision baked in by bench/CMakeLists.txt (git describe --always).
 #ifndef RRB_GIT_DESCRIBE
@@ -118,6 +119,41 @@ class BenchReport : public rrb::exp::BenchReport {
     rrb::exp::BenchReport::set(key, value);
     return *this;
   }
+
+  /// Write BENCH_<name>.json, stamping the process peak RSS first so every
+  /// trajectory file carries a memory data point next to its wall time
+  /// (tools/bench-diff compares both).
+  std::string write() {
+    set("peak_rss_bytes",
+        static_cast<std::uint64_t>(telemetry::peak_rss_bytes()));
+    return rrb::exp::BenchReport::write();
+  }
+};
+
+/// Scoped bench phase: records `phase_<name>_ms` on the report at scope
+/// exit, and emits a telemetry span (category "bench") when tracing is
+/// enabled — so the coarse phase structure lands in the BENCH_*.json
+/// trajectory always, and in the Chrome trace when one is taken.
+class Phase {
+ public:
+  Phase(BenchReport& report, std::string name)
+      : report_(report),
+        name_(std::move(name)),
+        span_("bench", name_),
+        begin_us_(telemetry::now_us()) {}
+  ~Phase() {
+    report_.set(
+        "phase_" + name_ + "_ms",
+        static_cast<double>(telemetry::now_us() - begin_us_) / 1000.0);
+  }
+  Phase(const Phase&) = delete;
+  Phase& operator=(const Phase&) = delete;
+
+ private:
+  BenchReport& report_;
+  std::string name_;
+  telemetry::Span span_;
+  std::int64_t begin_us_;
 };
 
 // ---- Factories -------------------------------------------------------------

@@ -59,6 +59,7 @@
 #include "rrb/common/table.hpp"
 #include "rrb/exp/campaign.hpp"
 #include "rrb/exp/distribute.hpp"
+#include "rrb/telemetry/telemetry.hpp"
 
 namespace {
 
@@ -72,6 +73,8 @@ struct Options {
   int respawn_budget = -1;   // -1 = distribute_campaign default
   int worker_id = -1;        // >= 0: hidden worker mode (spawned by driver)
   int worker_crash_after = -1;  // test hook, forwarded to worker 0
+  bool worker_events = false;   // hidden: flush telemetry per cell (--trace)
+  std::string trace_path;       // Chrome trace JSON out; "" = no telemetry
   bool list = false;
   bool quiet = false;
 };
@@ -109,6 +112,11 @@ void usage() {
       "  --respawn-budget N\n"
       "                   total crashed-worker respawns before giving up\n"
       "                   (default 2*K); leftover cells run in-process\n"
+      "  --trace FILE     record a Chrome trace-event JSON (open in Perfetto\n"
+      "                   or chrome://tracing) covering the driver, any\n"
+      "                   distributed workers, cells, engine kernels and\n"
+      "                   runner chunks. Pure side channel: artifacts stay\n"
+      "                   byte-identical with tracing on\n"
       "  --list           print the expanded cells and exit\n"
       "  --quiet          suppress per-cell progress lines\n";
 }
@@ -285,6 +293,8 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (flag == "--worker") opt.worker_id = std::stoi(next());
     else if (flag == "--worker-crash-after")
       opt.worker_crash_after = std::stoi(next());
+    else if (flag == "--worker-events") opt.worker_events = true;
+    else if (flag == "--trace") opt.trace_path = next();
     else if (flag == "--shard") {
       const std::string shard = next();
       const std::size_t slash = shard.find('/');
@@ -347,12 +357,21 @@ int main(int argc, char** argv) {
     if (opt.worker_id >= 0) {
       if (opt.out_dir.empty() || opt.out_dir == "none")
         throw std::runtime_error("--worker needs the driver's --out DIR");
+      if (opt.worker_events) {
+        // Trace identity: driver is pid 1, worker i is pid 2 + i. Events
+        // are flushed per cell by run_worker and merged by the driver.
+        telemetry::enable();
+        telemetry::set_process_id(2 + opt.worker_id);
+        telemetry::set_process_label("rrb_campaign worker w" +
+                                     std::to_string(opt.worker_id));
+      }
       exp::WorkerConfig worker;
       worker.worker_id = opt.worker_id;
       worker.out_dir = opt.out_dir;
       worker.runner = opt.config.runner;
       worker.quiet = opt.quiet;
       worker.crash_after = opt.worker_crash_after;
+      worker.record_events = opt.worker_events;
       const exp::CampaignSpec spec =
           exp::load_spec(exp::resolved_spec_path(opt.out_dir));
       const std::size_t computed = exp::run_worker(spec, worker);
@@ -360,6 +379,12 @@ int main(int argc, char** argv) {
         std::cout << "[w" << opt.worker_id << "] done, " << computed
                   << " cells computed\n";
       return 0;
+    }
+
+    if (!opt.trace_path.empty()) {
+      telemetry::enable();
+      telemetry::set_process_id(1);
+      telemetry::set_process_label("rrb_campaign driver");
     }
 
     exp::CampaignSpec spec;
@@ -400,6 +425,7 @@ int main(int argc, char** argv) {
       dist.runner = opt.config.runner;
       dist.out_dir = opt.config.out_dir;
       dist.quiet = opt.quiet;
+      dist.trace = !opt.trace_path.empty();
       dist.crash_worker0_after = opt.worker_crash_after;
       const exp::DistributeReport report =
           exp::distribute_campaign(spec, dist, self_exe_path(argv[0]));
@@ -458,6 +484,27 @@ int main(int argc, char** argv) {
                 << outcome.results_csv_path << "\n  " << outcome.meta_path
                 << "\n  " << outcome.timing_path
                 << "  (side channel, not deterministic)\n";
+
+    // Assemble the trace last: the driver's own spans plus, under
+    // --distribute, the per-worker event files — one flamegraph covering
+    // the whole campaign.
+    if (!opt.trace_path.empty()) {
+      std::vector<telemetry::Event> events = telemetry::drain();
+      if (opt.distribute > 0 && !opt.config.out_dir.empty())
+        for (int id = 0; id < opt.distribute; ++id) {
+          const std::vector<telemetry::Event> worker_events =
+              telemetry::load_events_jsonl(
+                  exp::worker_events_path(opt.config.out_dir, id));
+          events.insert(events.end(), worker_events.begin(),
+                        worker_events.end());
+        }
+      std::ofstream trace_out(opt.trace_path);
+      if (!trace_out)
+        throw std::runtime_error("cannot write " + opt.trace_path);
+      telemetry::write_chrome_trace(trace_out, events);
+      std::cout << "trace: " << opt.trace_path << " (" << events.size()
+                << " events; open in Perfetto or chrome://tracing)\n";
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

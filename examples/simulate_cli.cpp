@@ -9,7 +9,7 @@
 ///                [--n 16384] [--d 8] [--choices K] [--memory M]
 ///                [--quasirandom] [--failure P] [--alpha A] [--seed S]
 ///                [--trials T] [--threads W] [--chunk C] [--json PATH]
-///                [--metrics LIST]
+///                [--trace PATH] [--metrics LIST]
 ///
 /// SCHEME is any canonical scheme name (`--list-schemes` prints all of
 /// them, straight from the library's scheme table) or one of the short
@@ -37,6 +37,7 @@
 #include "rrb/metrics/registry.hpp"
 #include "rrb/sim/runner.hpp"
 #include "rrb/sim/trial.hpp"
+#include "rrb/telemetry/telemetry.hpp"
 
 namespace {
 
@@ -53,8 +54,9 @@ struct Options {
   std::uint64_t seed = 1;
   int trials = 3;
   rrb::RunnerConfig runner;
-  std::string json_path;  // empty = no JSON report
-  std::string metrics;    // comma list of registry metrics, or "all"
+  std::string json_path;   // empty = no JSON report
+  std::string trace_path;  // empty = no Chrome trace (telemetry stays off)
+  std::string metrics;     // comma list of registry metrics, or "all"
   bool list_schemes = false;
 };
 
@@ -66,6 +68,7 @@ void usage() {
       "                    [--quasirandom] [--failure P] [--alpha A] "
       "[--seed S] [--trials T]\n"
       "                    [--threads W] [--chunk C] [--json PATH]\n"
+      "                    [--trace PATH]\n"
       "\n"
       "  --protocol SCHEME  a canonical scheme name (see --list-schemes) "
       "or one of\n"
@@ -89,6 +92,10 @@ void usage() {
       "  --json PATH  also write the summaries as a JSON report (shared "
       "artifact\n"
       "               writer, same layout as the BENCH_*.json files)\n"
+      "  --trace PATH record a Chrome trace-event JSON of the run (engine\n"
+      "               and runner spans; open in Perfetto or\n"
+      "               chrome://tracing). Side channel only: the printed\n"
+      "               numbers and --json report are unchanged.\n"
       "  --metrics LIST  comma-separated registry metrics to collect via "
       "the\n"
       "               observer pipeline (tx-histogram, latency), or 'all'.\n"
@@ -150,6 +157,7 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (flag == "--threads") opt.runner.threads = std::stoi(next());
     else if (flag == "--chunk") opt.runner.chunk = std::stoi(next());
     else if (flag == "--json") opt.json_path = next();
+    else if (flag == "--trace") opt.trace_path = next();
     else if (flag == "--metrics") opt.metrics = next();
     else throw std::runtime_error("unknown flag: " + flag);
   }
@@ -179,6 +187,12 @@ int main(int argc, char** argv) {
     for (const BroadcastScheme scheme : kAllSchemes)
       std::cout << scheme_name(scheme) << "\n";
     return 0;
+  }
+
+  if (!opt.trace_path.empty()) {
+    telemetry::enable();
+    telemetry::set_process_id(1);
+    telemetry::set_process_label("simulate_cli");
   }
 
   const auto scheme = parse_scheme(opt.protocol);
@@ -361,6 +375,16 @@ int main(int argc, char** argv) {
         json_row.set_raw(field);
     }
     report.write_to(opt.json_path);
+  }
+
+  if (!opt.trace_path.empty()) {
+    const std::int64_t events = telemetry::write_chrome_trace_file(
+        opt.trace_path);
+    if (events < 0)
+      std::cerr << "warning: cannot write trace " << opt.trace_path << "\n";
+    else
+      std::cout << "trace: " << opt.trace_path << " (" << events
+                << " events; open in Perfetto or chrome://tracing)\n";
   }
   return out.completion_rate == 1.0 ? 0 : 1;
 }

@@ -1,6 +1,5 @@
 #include "rrb/exp/campaign.hpp"
 
-#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -22,6 +21,7 @@
 #include "rrb/sim/aggregate.hpp"
 #include "rrb/sim/runner.hpp"
 #include "rrb/sim/trial.hpp"
+#include "rrb/telemetry/telemetry.hpp"
 
 namespace rrb::exp {
 
@@ -268,6 +268,12 @@ void run_churn_cell(const CampaignSpec& spec, const CampaignCell& cell,
 JsonObject CampaignRunner::run_cell(const CampaignSpec& spec,
                                     const CampaignCell& cell,
                                     const RunnerConfig& trial_runner) {
+  // Wall-clock only: the span never touches the record, so cell output is
+  // bit-identical with telemetry on or off (tests/test_telemetry.cpp).
+  telemetry::Span cell_span("campaign", cell.key);
+  if (cell_span.active())
+    cell_span.set_args("{\"trials\":" + std::to_string(spec.trials) + "}");
+
   JsonObject record;
   set_axis_fields(record, spec, cell);
   if (cell.overlay)
@@ -326,14 +332,12 @@ CampaignOutcome CampaignRunner::run(const CellProgress& progress) {
     outcome.timing_path = config_.out_dir + "/timing.jsonl";
     timing_out.open(outcome.timing_path, std::ios::app);
   }
-  using Clock = std::chrono::steady_clock;
-  // The campaign's only wall-clock reads live in these two helpers so the
-  // side channel has a single, auditable entry point.
-  // rrb-lint: allow-next-line(no-nondeterminism-sources) — feeds only the
-  // timing.jsonl side channel above, never the deterministic records.
-  const auto timing_now = [] { return Clock::now(); };
-  const auto elapsed_ms = [](Clock::time_point start, Clock::time_point end) {
-    return std::chrono::duration<double, std::milli>(end - start).count();
+  // Wall-clock reads go through telemetry::now_us — the audited side-channel
+  // entry point (ROADMAP telemetry invariant): the value feeds only the
+  // timing.jsonl line below, never the deterministic records.
+  const auto timing_now = [] { return telemetry::now_us(); };
+  const auto elapsed_ms = [](std::int64_t start_us, std::int64_t end_us) {
+    return static_cast<double>(end_us - start_us) / 1000.0;
   };
   std::vector<double> wall_ms(mine.size(), 0.0);
   auto record_timing = [&](std::size_t i) {
@@ -345,7 +349,8 @@ CampaignOutcome CampaignRunner::run(const CellProgress& progress) {
         .set("trials", spec_.trials)
         .set("trials_per_s",
              ms > 0.0 ? static_cast<double>(spec_.trials) / (ms / 1000.0)
-                      : 0.0);
+                      : 0.0)
+        .set("peak_rss_bytes", telemetry::peak_rss_bytes());
     timing_out << line.to_line() << "\n" << std::flush;
   };
 
@@ -378,7 +383,7 @@ CampaignOutcome CampaignRunner::run(const CellProgress& progress) {
     // Cells in cell order; each cell's trials fan out on the pool.
     for (std::size_t i = 0; i < mine.size(); ++i) {
       if (!outcome.cells[i].reused) {
-        const Clock::time_point start = timing_now();
+        const std::int64_t start = timing_now();
         outcome.cells[i].record = run_cell(spec_, *mine[i], config_.runner);
         wall_ms[i] = elapsed_ms(start, timing_now());
       }
@@ -396,7 +401,7 @@ CampaignOutcome CampaignRunner::run(const CellProgress& progress) {
     ParallelRunner pool(config_.runner);
     pool.for_each_trial(static_cast<int>(missing.size()), [&](int j) {
       const std::size_t i = missing[static_cast<std::size_t>(j)];
-      const Clock::time_point start = timing_now();
+      const std::int64_t start = timing_now();
       JsonObject record = run_cell(spec_, *mine[i], inner);
       const double ms = elapsed_ms(start, timing_now());
       const std::lock_guard<std::mutex> lock(mutex);

@@ -1,18 +1,22 @@
 #include "rrb/exp/distribute.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "rrb/exp/campaign.hpp"
 #include "rrb/exp/journal.hpp"
+#include "rrb/telemetry/telemetry.hpp"
 
 #ifndef _WIN32
 #include <csignal>
@@ -35,6 +39,30 @@ namespace {
 
 [[nodiscard]] std::string owner_name(int worker_id) {
   return "w" + std::to_string(worker_id);
+}
+
+/// Truncate-rewrite a worker heartbeat: "<own journal cells> <monotonic µs>".
+/// Pure side channel (see distribute.hpp) — wall clock via the audited
+/// telemetry::now_us entry point, consumed only by the driver's progress
+/// line and straggler check, never by a deterministic artifact.
+void write_heartbeat(const std::string& path, std::size_t journal_cells) {
+  std::ofstream out(path, std::ios::trunc);
+  if (out) out << journal_cells << ' ' << telemetry::now_us() << '\n';
+}
+
+/// Parse a heartbeat file. False when missing/partial (a worker may be
+/// mid-rewrite — the next poll catches up).
+[[nodiscard]] bool read_heartbeat(const std::string& path,
+                                  std::size_t& journal_cells,
+                                  std::int64_t& ts_us) {
+  std::ifstream in(path);
+  if (!in) return false;
+  long long cells = -1, ts = -1;
+  in >> cells >> ts;
+  if (!in || cells < 0 || ts < 0) return false;
+  journal_cells = static_cast<std::size_t>(cells);
+  ts_us = ts;
+  return true;
 }
 
 /// Merge every record of every `<out>/workers/w*.jsonl` journal that the
@@ -137,6 +165,14 @@ std::string resolved_spec_path(const std::string& out_dir) {
   return out_dir + "/spec.resolved.campaign";
 }
 
+std::string worker_heartbeat_path(const std::string& out_dir, int worker_id) {
+  return out_dir + "/workers/" + owner_name(worker_id) + ".heartbeat";
+}
+
+std::string worker_events_path(const std::string& out_dir, int worker_id) {
+  return out_dir + "/trace/" + owner_name(worker_id) + ".events.jsonl";
+}
+
 std::size_t run_worker(const CampaignSpec& spec, const WorkerConfig& config) {
   if (config.out_dir.empty())
     throw std::runtime_error("worker mode needs a campaign directory");
@@ -174,6 +210,17 @@ std::size_t run_worker(const CampaignSpec& spec, const WorkerConfig& config) {
                        cells.size());
   const CellClaims claims(claims_dir(config.out_dir));
 
+  // Side channels: heartbeat from birth (so the driver sees an idle worker
+  // as alive, not stale) and, under --trace, per-cell event flushes.
+  const std::string heartbeat_path =
+      worker_heartbeat_path(config.out_dir, config.worker_id);
+  const std::string events_path =
+      worker_events_path(config.out_dir, config.worker_id);
+  if (config.record_events)
+    fs::create_directories(config.out_dir + "/trace");
+  std::size_t journaled = own.records.size();
+  write_heartbeat(heartbeat_path, journaled);
+
   // Work stealing: scan the grid in cell order, claiming whatever is left.
   // Repeat until a full pass computes nothing — a later pass picks up
   // claims the driver released after a crashed worker passed this worker's
@@ -191,7 +238,10 @@ std::size_t run_worker(const CampaignSpec& spec, const WorkerConfig& config) {
       writer.append(record);
       done.insert(cell.key);
       ++computed;
+      ++journaled;
       progressed = true;
+      write_heartbeat(heartbeat_path, journaled);
+      if (config.record_events) telemetry::append_events_jsonl(events_path);
       if (!config.quiet)
         std::printf("[%s] computed %s\n", owner.c_str(), cell.key.c_str());
 #ifndef _WIN32
@@ -201,6 +251,8 @@ std::size_t run_worker(const CampaignSpec& spec, const WorkerConfig& config) {
     }
   }
   writer.close();
+  write_heartbeat(heartbeat_path, journaled);
+  if (config.record_events) telemetry::append_events_jsonl(events_path);
   return computed;
 }
 
@@ -225,6 +277,7 @@ namespace {
                                    "--batch",
                                    std::to_string(config.runner.batch)};
   if (config.quiet) args.push_back("--quiet");
+  if (config.trace) args.push_back("--worker-events");
   if (worker_id == 0 && config.crash_worker0_after >= 0) {
     args.push_back("--worker-crash-after");
     args.push_back(std::to_string(config.crash_worker0_after));
@@ -279,10 +332,31 @@ DistributeReport distribute_campaign(const CampaignSpec& spec,
     out << describe(spec);
   }
 
+  // Stale side-channel files would pollute this run's progress/trace:
+  // heartbeats are per-run liveness, and a --trace merge must not pick up a
+  // previous run's events. Journals are never touched here.
+  for (int id = 0; id < config.workers; ++id) {
+    std::error_code ec;
+    fs::remove(worker_heartbeat_path(config.out_dir, id), ec);
+  }
+  if (fs::exists(config.out_dir + "/trace"))
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(config.out_dir + "/trace")) {
+      std::error_code ec;
+      fs::remove(entry.path(), ec);
+    }
+
   // Reuse earlier work before spawning anything: worker journals from an
   // interrupted driver run hold completed cells the manifest may lack.
-  report.merged_before =
-      merge_worker_journals(spec, config.out_dir, fingerprint, cells.size());
+  std::size_t done_at_start = 0;
+  {
+    const telemetry::Span merge_span("distribute", "merge:before");
+    report.merged_before = merge_worker_journals(spec, config.out_dir,
+                                                 fingerprint, cells.size());
+    done_at_start =
+        load_journal(config.out_dir + "/manifest.jsonl", fingerprint)
+            .records.size();
+  }
 
   // Claims only coordinate the workers of one driver run; completed work is
   // protected by journals. Stale claims from a dead run would deadlock the
@@ -294,18 +368,111 @@ DistributeReport distribute_campaign(const CampaignSpec& spec,
       config.respawn_budget >= 0 ? config.respawn_budget : 2 * config.workers;
 
   std::map<pid_t, int> alive;  // pid -> worker id
-  for (int id = 0; id < config.workers; ++id) {
-    const pid_t pid = spawn_worker(exe_path, id, config);
-    alive.emplace(pid, id);
-    if (!config.quiet)
-      std::printf("[distribute] worker %d spawned (pid %d)\n", id,
-                  static_cast<int>(pid));
+  {
+    const telemetry::Span spawn_span("distribute", "spawn_workers");
+    for (int id = 0; id < config.workers; ++id) {
+      const pid_t pid = spawn_worker(exe_path, id, config);
+      alive.emplace(pid, id);
+      if (!config.quiet)
+        std::printf("[distribute] worker %d spawned (pid %d)\n", id,
+                    static_cast<int>(pid));
+    }
   }
 
+  // ---- Supervision state (pure side channel: progress line, straggler
+  // flags, ETA — none of it can reach an artifact). Heartbeats report each
+  // worker's own-journal size; claims make journals disjoint, so total
+  // progress is the manifest baseline plus each worker's increment over the
+  // first value it ever reported (a respawn's journal carries over, so the
+  // baseline survives worker lives).
+  struct WorkerWatch {
+    bool seen = false;
+    std::size_t first_cells = 0;  ///< baseline at first heartbeat
+    std::size_t cells = 0;        ///< latest own-journal size
+    std::int64_t last_ts_us = 0;  ///< latest heartbeat timestamp
+    bool flagged = false;         ///< straggler warning issued this life
+  };
+  std::map<int, WorkerWatch> watch;
+  const std::int64_t supervise_start_us = telemetry::now_us();
+  std::int64_t last_print_us = supervise_start_us;
+  std::size_t last_done = static_cast<std::size_t>(-1);
+
+  const auto poll_side_channels = [&]() {
+    const std::int64_t now = telemetry::now_us();
+    std::set<int> alive_ids;
+    for (const auto& [pid, id] : alive) {
+      (void)pid;
+      alive_ids.insert(id);
+    }
+    std::size_t increments = 0;
+    for (int id = 0; id < config.workers; ++id) {
+      WorkerWatch& w = watch[id];
+      std::size_t hb_cells = 0;
+      std::int64_t hb_ts = 0;
+      if (!read_heartbeat(worker_heartbeat_path(config.out_dir, id), hb_cells,
+                          hb_ts))
+        continue;
+      if (!w.seen) {
+        w.seen = true;
+        w.first_cells = hb_cells;
+      }
+      if (hb_cells > w.cells) w.flagged = false;  // progressed: new grace
+      w.cells = std::max(w.cells, hb_cells);
+      w.last_ts_us = std::max(w.last_ts_us, hb_ts);
+
+      if (alive_ids.count(id) != 0 && !w.flagged &&
+          config.straggler_after_s > 0 &&
+          static_cast<double>(now - w.last_ts_us) >
+              config.straggler_after_s * 1e6) {
+        w.flagged = true;
+        ++report.stragglers_flagged;
+        std::fprintf(stderr,
+                     "[distribute] worker %d may be straggling: no "
+                     "heartbeat for %.1fs\n",
+                     id, static_cast<double>(now - w.last_ts_us) / 1e6);
+        telemetry::instant("distribute", "straggler w" + std::to_string(id));
+      }
+    }
+    for (const auto& [id, w] : watch)
+      if (w.seen) increments += w.cells - w.first_cells;
+
+    const std::size_t done =
+        std::min(cells.size(), done_at_start + increments);
+    const bool due = (now - last_print_us) >=
+                     static_cast<std::int64_t>(config.progress_interval_ms) *
+                         1000;
+    if (!config.quiet && (done != last_done || due)) {
+      const double elapsed_s =
+          static_cast<double>(now - supervise_start_us) / 1e6;
+      const double rate =
+          elapsed_s > 0.0 ? static_cast<double>(increments) / elapsed_s : 0.0;
+      const std::size_t remaining = cells.size() - done;
+      if (rate > 0.0)
+        std::printf("[progress] %zu/%zu cells, %.2f cells/s, ETA %.1fs\n",
+                    done, cells.size(), rate,
+                    static_cast<double>(remaining) / rate);
+      else
+        std::printf("[progress] %zu/%zu cells, 0.00 cells/s, ETA --\n", done,
+                    cells.size());
+      std::fflush(stdout);
+      last_print_us = now;
+      last_done = done;
+    }
+  };
+
+  std::optional<telemetry::Span> supervise_span;
+  supervise_span.emplace("distribute", "supervise");
   while (!alive.empty()) {
     int status = 0;
-    const pid_t pid = ::waitpid(-1, &status, 0);
+    const pid_t pid = ::waitpid(-1, &status, WNOHANG);
     if (pid < 0) throw std::runtime_error("waitpid failed");
+    if (pid == 0) {
+      // Nobody exited: poll the side channels, then yield. 50ms keeps the
+      // progress line live without measurable supervision overhead.
+      poll_side_channels();
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      continue;
+    }
     const auto it = alive.find(pid);
     if (it == alive.end()) continue;  // not ours (e.g. inherited child)
     const int id = it->second;
@@ -335,6 +502,8 @@ DistributeReport distribute_campaign(const CampaignSpec& spec,
       ++report.respawns;
       const pid_t fresh = spawn_worker(exe_path, id, config);
       alive.emplace(fresh, id);
+      watch[id].flagged = false;  // the fresh life gets a fresh grace period
+      telemetry::instant("distribute", "respawn w" + std::to_string(id));
       if (!config.quiet)
         std::printf(
             "[distribute] worker %d died (status 0x%x); released %zu "
@@ -343,6 +512,7 @@ DistributeReport distribute_campaign(const CampaignSpec& spec,
             budget);
     } else {
       ++report.failed_workers;
+      telemetry::instant("distribute", "abandon w" + std::to_string(id));
       if (!config.quiet)
         std::printf(
             "[distribute] worker %d died (status 0x%x); released %zu "
@@ -352,8 +522,16 @@ DistributeReport distribute_campaign(const CampaignSpec& spec,
     }
   }
 
-  report.merged_after =
-      merge_worker_journals(spec, config.out_dir, fingerprint, cells.size());
+  supervise_span.reset();
+
+  // Final poll so the last progress line reflects the finished fleet.
+  last_done = static_cast<std::size_t>(-1);
+  poll_side_channels();
+  {
+    const telemetry::Span merge_span("distribute", "merge:after");
+    report.merged_after = merge_worker_journals(spec, config.out_dir,
+                                                fingerprint, cells.size());
+  }
   return report;
 }
 

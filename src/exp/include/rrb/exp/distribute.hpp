@@ -76,12 +76,35 @@ class CellClaims {
                                               int worker_id);
 [[nodiscard]] std::string resolved_spec_path(const std::string& out_dir);
 
+/// Telemetry side-channel files (ROADMAP telemetry invariant: these never
+/// feed a deterministic artifact, are never merged into journals, and may
+/// be deleted at any time).
+///
+/// Heartbeat: `<out>/workers/w<I>.heartbeat`, truncate-rewritten after each
+/// completed cell as "<own journal cells> <monotonic µs>". The driver polls
+/// them for the live progress line and straggler detection. The `.heartbeat`
+/// extension keeps them out of the journal merge's `.jsonl` glob.
+[[nodiscard]] std::string worker_heartbeat_path(const std::string& out_dir,
+                                                int worker_id);
+/// Worker trace events: `<out>/trace/w<I>.events.jsonl` (the telemetry
+/// events-JSONL shuttle format), appended after each cell when the driver
+/// runs with `--trace`; the driver merges them into one Chrome trace. A
+/// separate `trace/` directory keeps them away from the journal glob too.
+[[nodiscard]] std::string worker_events_path(const std::string& out_dir,
+                                             int worker_id);
+
 /// One worker process's identity and knobs (the hidden `--worker I` mode).
 struct WorkerConfig {
   int worker_id = 0;
   std::string out_dir;  ///< the campaign directory, shared with the driver
   RunnerConfig runner;  ///< trial scheduling inside this worker
   bool quiet = false;
+
+  /// Flush this worker's telemetry events to worker_events_path() after
+  /// each completed cell (the hidden `--worker-events` flag, set by a
+  /// `--trace` driver). Per-cell flushing is what makes the trace
+  /// crash-tolerant: a SIGKILLed worker loses at most one cell's events.
+  bool record_events = false;
 
   /// Test hook for the crash-recovery fixtures: SIGKILL this worker after
   /// it computes this many cells (0 = at startup, before claiming
@@ -111,6 +134,17 @@ struct DistributeConfig {
   std::string out_dir;
   bool quiet = false;
 
+  /// Driver half of `--trace`: forward `--worker-events` to every worker so
+  /// their spans land in <out>/trace/, to be merged by the caller.
+  bool trace = false;
+
+  /// Supervision cadence. A worker whose heartbeat is older than
+  /// `straggler_after_s` (while still alive) is flagged once per life on
+  /// stderr and in the trace. Progress lines are printed at most every
+  /// `progress_interval_ms` unless the cell count changed.
+  double straggler_after_s = 30.0;
+  int progress_interval_ms = 2000;
+
   int crash_worker0_after = -1;  ///< test hook, forwarded to worker 0
 };
 
@@ -122,6 +156,7 @@ struct DistributeReport {
   std::size_t merged_after = 0;      ///< fresh worker records merged
   int respawns = 0;
   int failed_workers = 0;  ///< workers abandoned with the budget spent
+  std::size_t stragglers_flagged = 0;  ///< heartbeat timeouts observed
 };
 
 /// Spawn `config.workers` processes of `exe_path` in `--worker` mode over

@@ -14,6 +14,7 @@
 #include "rrb/phonecall/protocol.hpp"
 #include "rrb/phonecall/result.hpp"
 #include "rrb/rng/rng.hpp"
+#include "rrb/telemetry/telemetry.hpp"
 
 /// \file batched_engine.hpp
 /// Trial-batched execution: advance B independent trials ("lanes") in
@@ -256,6 +257,14 @@ std::vector<RunResult> BatchedPhoneCallEngine<TopologyT>::run(
       return run_lockstep_uniform(protocols, sources, rngs, limits);
   }
 
+  // Kernel-ladder telemetry: one span per kernel body (general / bitmask /
+  // classic), so a trace shows which rung actually ran and how many lanes
+  // were active. Wall-clock only — never affects draws or outputs.
+  telemetry::Span kernel_span("batched", "batched:general");
+  if (kernel_span.active())
+    kernel_span.set_args("{\"lanes\":" + std::to_string(lanes) +
+                         ",\"n\":" + std::to_string(n) + "}");
+
   stamp_.assign(static_cast<std::size_t>(n) * lanes, kNever);
   action_.assign(static_cast<std::size_t>(n) * lanes, Action::kNone);
   samplers_.assign(lanes, ChannelSampler{});
@@ -489,6 +498,11 @@ std::vector<RunResult> BatchedPhoneCallEngine<TopologyT>::run_lockstep_uniform(
 
   const NodeId n = topo_->num_slots();
   const std::size_t lanes = protocols.size();
+
+  telemetry::Span kernel_span("batched", "batched:bitmask");
+  if (kernel_span.active())
+    kernel_span.set_args("{\"lanes\":" + std::to_string(lanes) +
+                         ",\"n\":" + std::to_string(n) + "}");
 
   // With a state-oblivious protocol (and the kernel's hook-free observers)
   // nothing ever reads a per-(node, lane) informed stamp: Phase A never
@@ -795,6 +809,11 @@ std::vector<RunResult> BatchedPhoneCallEngine<TopologyT>::run_lockstep_classic(
   const NodeId n = topo_->num_slots();
   const std::size_t lanes = protocols.size();
   const std::size_t W = (static_cast<std::size_t>(n) + 63) / 64;
+
+  telemetry::Span kernel_span("batched", "batched:classic");
+  if (kernel_span.active())
+    kernel_span.set_args("{\"lanes\":" + std::to_string(lanes) +
+                         ",\"n\":" + std::to_string(n) + "}");
 
   live_bits_.assign(lanes * W, 0);
   start_bits_.assign(W, 0);

@@ -13,6 +13,7 @@
 #include "rrb/phonecall/protocol.hpp"
 #include "rrb/phonecall/result.hpp"
 #include "rrb/rng/rng.hpp"
+#include "rrb/telemetry/telemetry.hpp"
 
 /// \file engine.hpp
 /// The synchronous phone call engine.
@@ -238,6 +239,13 @@ RunResult PhoneCallEngine<TopologyT>::run(ProtocolT& protocol,
   const NodeId n = topo_->num_slots();
   RRB_REQUIRE(n >= 1, "empty topology");
   RRB_REQUIRE(!sources.empty(), "need at least one source");
+
+  // Telemetry spans record wall-clock only: they draw no randomness and
+  // touch no engine state, so draws and outputs are bit-identical with
+  // recording on or off (pinned by tests/test_telemetry.cpp).
+  telemetry::Span run_span("engine", "run");
+  if (run_span.active())
+    run_span.set_args("{\"n\":" + std::to_string(n) + "}");
 
   informed_at_.assign(n, kNever);
   action_.assign(n, Action::kNone);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "rrb/common/check.hpp"
+#include "rrb/telemetry/telemetry.hpp"
 
 namespace rrb {
 
@@ -78,9 +79,19 @@ void ParallelRunner::for_each_chunk(
   const int chunks = num_chunks(trials);
   const int workers = std::min(chunks, resolve_threads(config_));
 
+  telemetry::Span pool_span("runner", "for_each_chunk");
+  if (pool_span.active())
+    pool_span.set_args("{\"trials\":" + std::to_string(trials) +
+                       ",\"chunks\":" + std::to_string(chunks) +
+                       ",\"workers\":" + std::to_string(workers) + "}");
+
   if (workers <= 1) {
     for (int index = 0; index < chunks; ++index) {
       const auto [begin, end] = chunk_bounds(index, trials);
+      telemetry::Span chunk_span("runner", "chunk");
+      if (chunk_span.active())
+        chunk_span.set_args("{\"begin\":" + std::to_string(begin) +
+                            ",\"end\":" + std::to_string(end) + "}");
       fn(index, begin, end);
     }
     return;
@@ -97,6 +108,10 @@ void ParallelRunner::for_each_chunk(
       const int index = next.fetch_add(1, std::memory_order_relaxed);
       if (index >= chunks) return;
       const auto [begin, end] = chunk_bounds(index, trials);
+      telemetry::Span chunk_span("runner", "chunk");
+      if (chunk_span.active())
+        chunk_span.set_args("{\"begin\":" + std::to_string(begin) +
+                            ",\"end\":" + std::to_string(end) + "}");
       try {
         fn(index, begin, end);
       } catch (...) {

@@ -1,0 +1,170 @@
+/// rrb::telemetry — the wall-clock side channel of the simulator.
+///
+/// This module is the observability twin of the read-only rrb::metrics
+/// observer pipeline: where metrics derive *deterministic* numbers from the
+/// engine's hook stream, telemetry records *non-deterministic* facts about a
+/// run — wall-clock spans, monotonic counters, peak RSS — and exports them as
+/// Chrome trace-event JSON (chrome://tracing / Perfetto) or JSONL.
+///
+/// Contract (ROADMAP "telemetry side channel" invariant, lint-enforced by the
+/// telemetry-side-channel rule): nothing recorded here may ever reach a
+/// deterministic artifact. Telemetry headers are banned from the
+/// artifact/record-writing TUs; the only sanctioned consumers are side
+/// channels (timing.jsonl, BENCH_*.json, trace files, progress lines).
+/// Conversely, telemetry must never perturb a run: recording draws no
+/// randomness and mutates no engine state, and `tests/test_telemetry.cpp`
+/// pins bit-identity of all golden outputs with telemetry enabled.
+///
+/// Design for near-zero overhead when disabled:
+///  - recording is gated on one relaxed atomic load (`enabled()`); the
+///    default is OFF, so instrumented hot loops pay one predictable branch;
+///  - events land in thread-local buffers (registered once per thread) —
+///    no lock on the hot path, no cross-thread contention;
+///  - the whole API compiles out when RRB_TELEMETRY_ENABLED=0 (CMake option
+///    `RRB_TELEMETRY`), leaving empty inline stubs.
+///
+/// Timestamps are steady_clock microseconds (CLOCK_MONOTONIC on Linux) —
+/// comparable across the processes of one machine, which is what lets the
+/// distribute driver merge worker event files into a single aligned trace.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef RRB_TELEMETRY_ENABLED
+#define RRB_TELEMETRY_ENABLED 1
+#endif
+
+namespace rrb::telemetry {
+
+/// True when the API is compiled in (RRB_TELEMETRY_ENABLED != 0). When
+/// false every call below is an empty inline stub.
+inline constexpr bool kCompiledIn = RRB_TELEMETRY_ENABLED != 0;
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+
+void emit_complete(const char* category, std::string name, std::int64_t ts_us,
+                   std::int64_t dur_us, std::string args_json);
+void emit_instant(const char* category, std::string name,
+                  std::string args_json);
+void add_count(std::string_view name, std::int64_t delta);
+}  // namespace detail
+
+/// One trace event. `phase` follows the Chrome trace-event vocabulary:
+/// 'X' complete (ts + dur), 'i' instant, 'C' counter, 'M' metadata.
+struct Event {
+  char phase = 'X';
+  std::string name;
+  std::string category;
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;
+  std::int32_t pid = 0;
+  std::int32_t tid = 0;
+  std::string args_json;  ///< "" or a complete JSON object, e.g. {"lanes":4}
+};
+
+/// Monotonic now in microseconds (steady_clock). This is the module's single
+/// wall-clock entry point; deterministic modules that need a side-channel
+/// timestamp (timing.jsonl, heartbeats, progress ETA) call this instead of
+/// reading a clock themselves, keeping the clock read inside the audited
+/// side channel.
+std::int64_t now_us();
+
+/// Global recording switch (default off). `enable(true)` is process-wide and
+/// not meant to be toggled mid-run; `enabled()` is the hot-path gate.
+void enable(bool on = true);
+inline bool enabled() {
+  if constexpr (!kCompiledIn) return false;
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Chrome-trace process identity for every event recorded after the call.
+/// The distribute driver is pid 1; worker i labels itself pid 2 + i.
+void set_process_id(std::int32_t pid);
+void set_process_label(std::string label);  ///< emits a process_name 'M' event
+
+/// Peak / current resident set size in bytes from /proc/self/status
+/// (VmHWM / VmRSS). Returns 0 when the pseudo-file is unavailable.
+std::uint64_t peak_rss_bytes();
+std::uint64_t current_rss_bytes();
+
+/// RAII scoped timer: records one complete ('X') event from construction to
+/// destruction when telemetry is enabled. `category` must be a string
+/// literal (stored by pointer). Construction when disabled costs one
+/// relaxed atomic load.
+class Span {
+ public:
+  Span(const char* category, std::string_view name) {
+    if (enabled()) begin(category, name);
+  }
+  Span(const char* category, std::string_view name, std::string args_json) {
+    if (enabled()) {
+      begin(category, name);
+      args_ = std::move(args_json);
+    }
+  }
+  ~Span() {
+    if (active_) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach/replace the event's args object ("{...}") before destruction.
+  void set_args(std::string args_json) {
+    if (active_) args_ = std::move(args_json);
+  }
+  bool active() const { return active_; }
+
+ private:
+  void begin(const char* category, std::string_view name);
+  void end();
+
+  bool active_ = false;
+  const char* category_ = nullptr;
+  std::string name_;
+  std::string args_;
+  std::int64_t begin_us_ = 0;
+};
+
+/// Record an instant ('i') event, e.g. "worker 3 respawned".
+inline void instant(const char* category, std::string name,
+                    std::string args_json = {}) {
+  if (enabled())
+    detail::emit_instant(category, std::move(name), std::move(args_json));
+}
+
+/// Bump a named monotonic counter. Aggregated per thread and materialised as
+/// one 'C' event per counter at drain() time.
+inline void count(std::string_view name, std::int64_t delta = 1) {
+  if (enabled()) detail::add_count(name, delta);
+}
+
+/// Move all buffered events (every thread, including exited threads) out of
+/// the registry, appending materialised counter totals. Order is unspecified;
+/// exporters sort by timestamp.
+std::vector<Event> drain();
+
+/// Write events as a Chrome trace-event JSON document ({"traceEvents":[...]}).
+/// Timestamps are rebased to the earliest event so traces start near t=0.
+void write_chrome_trace(std::ostream& os, const std::vector<Event>& events);
+
+/// drain() + write_chrome_trace to `path`. Returns the number of events
+/// written, or -1 when the file could not be opened.
+std::int64_t write_chrome_trace_file(const std::string& path);
+
+/// Append drained events to `path` as one JSON object per line — the shuttle
+/// format distribute workers use to hand their events to the driver. Returns
+/// events appended, or -1 on open failure. Crash-tolerant by construction:
+/// each line is self-contained and load_events_jsonl skips partial tails.
+std::int64_t append_events_jsonl(const std::string& path);
+
+/// Parse an events JSONL file written by append_events_jsonl. Malformed or
+/// truncated lines are skipped (a SIGKILLed worker may leave one).
+std::vector<Event> load_events_jsonl(const std::string& path);
+
+}  // namespace rrb::telemetry

@@ -1,0 +1,20 @@
+// Fixture: an artifact writer that can see the telemetry headers. Linted
+// with --as src/exp/artifact.cpp; expects 1 finding of
+// telemetry-side-channel (the include alone is the violation — once the
+// header is visible, a wall-ms or RSS value is one typo away from a
+// recorded byte). Also linted with --rules telemetry-side-channel
+// --as src/metrics/fixture.cpp (observer digests feed fingerprints);
+// expects the same 1 finding.
+#include <string>
+
+#include "rrb/telemetry/telemetry.hpp"  // finding: side channel in artifact TU
+
+struct ResultLine {
+  std::string key;
+  double rounds_mean = 0.0;
+
+  std::string render() const {
+    rrb::telemetry::Span span("artifact", "render");
+    return key + " " + std::to_string(rounds_mean);
+  }
+};

@@ -1,0 +1,18 @@
+// Fixture: a campaign-runner translation unit using telemetry correctly —
+// spans around cell computation, with the artifact bytes produced elsewhere
+// (the TU is not an artifact/journal writer, so the side channel may be
+// visible here). Linted with --as src/exp/campaign.cpp; expects 0 findings.
+#include <cstddef>
+#include <string>
+
+#include "rrb/telemetry/telemetry.hpp"
+
+struct CellTimer {
+  void run_cell(const std::string& key, std::size_t trials) {
+    rrb::telemetry::Span span("campaign", key);
+    rrb::telemetry::count("cells", 1);
+    total_trials_ += trials;
+  }
+
+  std::size_t total_trials_ = 0;
+};

@@ -247,16 +247,18 @@ const std::map<std::string, std::vector<std::string>>& module_deps() {
       {"common", {}},
       {"rng", {"common"}},
       {"analysis", {"common"}},
+      {"telemetry", {"common"}},
       {"graph", {"common", "rng"}},
-      {"phonecall", {"common", "graph", "rng"}},
+      {"phonecall", {"common", "graph", "rng", "telemetry"}},
       {"protocols", {"common", "phonecall"}},
       {"metrics", {"analysis", "common", "graph", "phonecall"}},
       {"core", {"common", "graph", "metrics", "phonecall", "protocols", "rng"}},
       {"p2p", {"common", "graph", "protocols", "rng"}},
-      {"sim", {"common", "core", "graph", "metrics", "phonecall", "rng"}},
+      {"sim",
+       {"common", "core", "graph", "metrics", "phonecall", "rng", "telemetry"}},
       {"exp",
        {"common", "core", "graph", "metrics", "p2p", "phonecall", "protocols",
-        "rng", "sim"}},
+        "rng", "sim", "telemetry"}},
   };
   return kDeps;
 }
@@ -789,6 +791,43 @@ void rule_module_layering(std::string_view content, const std::string& module,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: telemetry-side-channel
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kRuleTelemetry = "telemetry-side-channel";
+
+/// The translation units that render deterministic bytes: every metrics TU
+/// (observer digests feed recorded fingerprints) and the exp artifact/journal
+/// writers. Telemetry is a wall-clock side channel (ROADMAP telemetry
+/// invariant) — these TUs may not even see its headers, so a timing or RSS
+/// value can never leak into an artifact by construction.
+bool artifact_writing_tu(const std::string& module,
+                         std::string_view display_path) {
+  if (module == "metrics") return true;
+  if (module != "exp") return false;
+  const std::size_t slash = display_path.find_last_of('/');
+  const std::string_view base = slash == std::string_view::npos
+                                    ? display_path
+                                    : display_path.substr(slash + 1);
+  return base.starts_with("artifact") || base.starts_with("journal");
+}
+
+void rule_telemetry_side_channel(std::string_view content,
+                                 const std::string& module,
+                                 std::string_view display_path, Sink& sink) {
+  if (!artifact_writing_tu(module, display_path)) return;
+  for (const Include& inc : collect_includes(content)) {
+    if (!inc.path.starts_with("rrb/telemetry/")) continue;
+    sink.emit(inc.line, kRuleTelemetry,
+              "artifact/record-writing translation unit includes '" +
+                  inc.path +
+                  "': telemetry is a wall-clock side channel and may never "
+                  "be visible where deterministic bytes are rendered "
+                  "(ROADMAP telemetry invariant)");
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -799,7 +838,7 @@ const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
       std::string(kRuleNondet),      std::string(kRuleUnordered),
       std::string(kRuleObserver),    std::string(kRuleUnsequenced),
-      std::string(kRuleLayering),
+      std::string(kRuleLayering),    std::string(kRuleTelemetry),
   };
   return kNames;
 }
@@ -821,6 +860,7 @@ FileReport lint_file(std::string_view display_path, std::string_view content,
   rule_observer_read_only(content, scrubbed, module, sink);
   rule_unsequenced_rng_args(scrubbed, sink);
   rule_module_layering(content, module, sink);
+  rule_telemetry_side_channel(content, module, display_path, sink);
 
   std::sort(report.findings.begin(), report.findings.end(),
             [](const Finding& a, const Finding& b) {

@@ -35,6 +35,11 @@
 ///                               depend on the compiler)
 ///   module-layering             #include edges must follow the module DAG
 ///                               declared in src/*/CMakeLists.txt
+///   telemetry-side-channel      rrb/telemetry/ headers are banned from
+///                               artifact/record-writing TUs (metrics, and
+///                               the exp artifact/journal writers) — timing
+///                               and RSS values can never reach recorded
+///                               bytes
 
 namespace rrb::lint {
 
