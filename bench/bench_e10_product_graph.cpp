@@ -3,6 +3,12 @@
 /// multi-choice model "may not lead to any notable improvement". We compare
 /// the four-choice algorithm and push on the product vs a plain random
 /// regular graph of identical size and degree.
+///
+/// Thin driver over the campaign subsystem: the grids live in
+/// bench/campaigns/e10_product_graph.campaign and e10_plain_regular.campaign
+/// and run through rrb::exp (cell seeds derive from (campaign_seed,
+/// cell_key) — the campaign seeding contract); this binary only renders the
+/// side-by-side table.
 
 #include "bench_util.hpp"
 
@@ -14,47 +20,46 @@ int main() {
          "claim (§5): on G(n,d) x K5 the four-choice model loses its "
          "advantage despite random-regular-like expansion");
 
-  const NodeId base_n = 1 << 13;
-  const NodeId base_d = 6;
-  const NodeId prod_n = base_n * 5;
-  const NodeId prod_d = base_d + 4;
-
-  const GraphFactory product_factory = [base_n, base_d](Rng& rng) {
-    const Graph g = random_regular_simple(base_n, base_d, rng);
-    return cartesian_product(g, complete(5));
-  };
-  const GraphFactory plain_factory = regular_graph(prod_n, prod_d);
+  const exp::CampaignSpec plain_spec =
+      exp::load_spec(campaign_path("e10_plain_regular"));
+  const exp::CampaignSpec product_spec =
+      exp::load_spec(campaign_path("e10_product_graph"));
+  const exp::CampaignOutcome plain =
+      exp::CampaignRunner(plain_spec, {}).run();
+  const exp::CampaignOutcome product =
+      exp::CampaignRunner(product_spec, {}).run();
 
   Table table({"graph", "protocol", "ok", "done@", "tx/node"});
-  table.set_title("n = 40960, degree 10 on both sides (5 trials)");
+  table.set_title("n = 40960, degree 10 on both sides (" +
+                  std::to_string(plain_spec.trials) + " trials)");
 
-  auto add_row = [&table](const std::string& graph_name,
-                          const std::string& proto_name,
-                          const GraphFactory& gf, const ProtocolFactory& pf,
-                          int choices, std::uint64_t seed) {
-    TrialConfig cfg;
-    cfg.trials = 5;
-    cfg.seed = seed;
-    cfg.channel.num_choices = choices;
-    const TrialOutcome out = run_trials(gf, pf, cfg);
-    table.begin_row();
-    table.add(graph_name);
-    table.add(proto_name);
-    table.add(out.completion_rate, 2);
-    table.add(out.completion_round.mean, 1);
-    table.add(out.tx_per_node.mean, 2);
+  struct Row {
+    const char* graph_name;
+    const char* proto_name;
+    const exp::CampaignOutcome* outcome;
+    BroadcastScheme scheme;
   };
-
-  add_row("G(n,10)", "4-choice Alg1", plain_factory,
-          four_choice_protocol(prod_n), 4, 0xea1);
-  add_row("G(n,6) x K5", "4-choice Alg1", product_factory,
-          four_choice_protocol(prod_n), 4, 0xea2);
-  add_row("G(n,10)", "push", plain_factory, push_protocol(), 1, 0xea3);
-  add_row("G(n,6) x K5", "push", product_factory, push_protocol(), 1, 0xea4);
-  add_row("G(n,10)", "push&pull", plain_factory, push_pull_protocol(), 1,
-          0xea5);
-  add_row("G(n,6) x K5", "push&pull", product_factory, push_pull_protocol(),
-          1, 0xea6);
+  const Row rows[] = {
+      {"G(n,10)", "4-choice Alg1", &plain, BroadcastScheme::kFourChoice},
+      {"G(n,6) x K5", "4-choice Alg1", &product,
+       BroadcastScheme::kFourChoice},
+      {"G(n,10)", "push", &plain, BroadcastScheme::kPush},
+      {"G(n,6) x K5", "push", &product, BroadcastScheme::kPush},
+      {"G(n,10)", "push&pull", &plain, BroadcastScheme::kPushPull},
+      {"G(n,6) x K5", "push&pull", &product, BroadcastScheme::kPushPull},
+  };
+  for (const Row& row : rows) {
+    const exp::JsonObject& record =
+        find_record(row.outcome->cells, [&row](const exp::CampaignCell& c) {
+          return c.scheme == row.scheme;
+        });
+    table.begin_row();
+    table.add(std::string(row.graph_name));
+    table.add(std::string(row.proto_name));
+    table.add(record_number(record, "completion_rate"), 2);
+    table.add(record_number(record, "completion_mean"), 1);
+    table.add(record_number(record, "tx_per_node_mean"), 2);
+  }
   std::cout << table << "\n";
   std::cout << "expected shape: every protocol is slower/costlier on the "
                "product — the K5\nfibres waste channel choices on clique "

@@ -3,6 +3,12 @@
 /// stretched 4x, is equivalent to the four-choice model (four sequential
 /// steps = one parallel step). We also run memoryless 1-choice on the same
 /// stretched schedule to show that the memory is what does the work.
+///
+/// Thin driver over the campaign subsystem: the memory ablation lives in
+/// bench/campaigns/e15_sequentialised.campaign (memory axis 3, 0) with the
+/// four-choice row in e15_fourchoice_reference.campaign, both running
+/// through rrb::exp (cell seeds derive from (campaign_seed, cell_key) —
+/// the campaign seeding contract); this binary only renders the table.
 
 #include "bench_util.hpp"
 
@@ -14,50 +20,39 @@ int main() {
          "claim: 1 choice/step + memory 3 + 4x schedule ≈ 4 distinct "
          "choices/step");
 
-  const NodeId n = 1 << 14;
-  const NodeId d = 8;
-
-  struct Variant {
-    const char* name;
-    ChannelConfig channel;
-    ProtocolFactory factory;
-  };
-  ChannelConfig four;
-  four.num_choices = 4;
-  ChannelConfig seq;
-  seq.num_choices = 1;
-  seq.memory = 3;
-  ChannelConfig plain;
-  plain.num_choices = 1;
-
-  const Variant variants[] = {
-      {"4 choices/round (Algorithm 1)", four, four_choice_protocol(n)},
-      {"1 choice/step + memory 3 (footnote 2)", seq,
-       sequentialised_protocol(n)},
-      {"1 choice/step, no memory (ablation)", plain,
-       sequentialised_protocol(n)},
-  };
+  const exp::CampaignSpec four_spec =
+      exp::load_spec(campaign_path("e15_fourchoice_reference"));
+  const exp::CampaignSpec seq_spec =
+      exp::load_spec(campaign_path("e15_sequentialised"));
+  const exp::CampaignOutcome four = exp::CampaignRunner(four_spec, {}).run();
+  const exp::CampaignOutcome seq = exp::CampaignRunner(seq_spec, {}).run();
 
   Table table({"variant", "ok", "coverage", "rounds", "done@", "tx/node"});
-  table.set_title("Algorithm 1 variants, n = 2^14, d = 8 (10 trials)");
-  for (const Variant& v : variants) {
-    TrialConfig cfg;
-    cfg.trials = 10;
-    cfg.seed = 0xef;
-    cfg.channel = v.channel;
-    const TrialOutcome out = run_trials(regular_graph(n, d), v.factory, cfg);
-    double coverage = 0.0;
-    for (const RunResult& r : out.runs)
-      coverage += static_cast<double>(r.final_informed) /
-                  static_cast<double>(r.n);
-    coverage /= static_cast<double>(out.runs.size());
+  table.set_title("Algorithm 1 variants, n = 2^14, d = 8 (" +
+                  std::to_string(seq_spec.trials) + " trials)");
+
+  struct Row {
+    const char* name;
+    const exp::CampaignOutcome* outcome;
+    int memory;
+  };
+  const Row rows[] = {
+      {"4 choices/round (Algorithm 1)", &four, -1},
+      {"1 choice/step + memory 3 (footnote 2)", &seq, 3},
+      {"1 choice/step, no memory (ablation)", &seq, 0},
+  };
+  for (const Row& row : rows) {
+    const exp::JsonObject& record =
+        find_record(row.outcome->cells, [&row](const exp::CampaignCell& c) {
+          return c.memory == row.memory;
+        });
     table.begin_row();
-    table.add(std::string(v.name));
-    table.add(out.completion_rate, 2);
-    table.add(coverage, 6);
-    table.add(out.rounds.mean, 1);
-    table.add(out.completion_round.mean, 1);
-    table.add(out.tx_per_node.mean, 2);
+    table.add(std::string(row.name));
+    table.add(record_number(record, "completion_rate"), 2);
+    table.add(record_number(record, "coverage_mean"), 6);
+    table.add(record_number(record, "rounds_mean"), 1);
+    table.add(record_number(record, "completion_mean"), 1);
+    table.add(record_number(record, "tx_per_node_mean"), 2);
   }
   std::cout << table << "\n";
   std::cout << "expected shape: rows 1 and 2 match in coverage and tx/node "

@@ -5,11 +5,12 @@
 ///
 /// Usage:
 ///   simulate_cli [--protocol SCHEME] [--list-schemes]
-///                [--graph regular|gnp|hypercube|pa|FILE.edges]
-///                [--n 16384] [--d 8] [--choices K] [--memory M]
-///                [--quasirandom] [--failure P] [--alpha A] [--seed S]
-///                [--trials T] [--threads W] [--chunk C] [--json PATH]
-///                [--trace PATH] [--metrics LIST]
+///                [--graph regular|gnp|hypercube|pa|chunked|chunked-out|
+///                 FILE.edges]
+///                [--n 16384] [--d 8] [--chunks C] [--choices K]
+///                [--memory M] [--quasirandom] [--failure P] [--alpha A]
+///                [--seed S] [--trials T] [--threads W] [--chunk C]
+///                [--json PATH] [--trace PATH] [--metrics LIST]
 ///
 /// SCHEME is any canonical scheme name (`--list-schemes` prints all of
 /// them, straight from the library's scheme table) or one of the short
@@ -28,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "rrb/bigtopo/bigtopo.hpp"
 #include "rrb/common/table.hpp"
 #include "rrb/core/scheme_dispatch.hpp"
 #include "rrb/exp/artifact.hpp"
@@ -46,6 +48,7 @@ struct Options {
   std::string graph = "regular";
   rrb::NodeId n = 1 << 14;
   rrb::NodeId d = 8;
+  int chunks = 0;     // execution batches for the chunked generators
   int choices = -1;   // -1 = scheme default
   int memory = -1;    // -1 = scheme default
   bool quasirandom = false;
@@ -63,13 +66,25 @@ struct Options {
 void usage() {
   std::cout <<
       "usage: simulate_cli [--protocol SCHEME] [--list-schemes]\n"
-      "                    [--graph regular|gnp|hypercube|pa|FILE.edges]\n"
-      "                    [--n N] [--d D] [--choices K] [--memory M]\n"
+      "                    [--graph regular|gnp|hypercube|pa|chunked|"
+      "chunked-out|FILE.edges]\n"
+      "                    [--n N] [--d D] [--chunks C] [--choices K] "
+      "[--memory M]\n"
       "                    [--quasirandom] [--failure P] [--alpha A] "
       "[--seed S] [--trials T]\n"
       "                    [--threads W] [--chunk C] [--json PATH]\n"
       "                    [--trace PATH]\n"
       "\n"
+      "  --graph chunked      rrb::bigtopo chunked configuration model "
+      "(compact CSR\n"
+      "               build; reaches n in the millions). chunked-out is "
+      "the d-out\n"
+      "               overlay variant (degree d + in-degree).\n"
+      "  --chunks C   execution batches for the chunked generators "
+      "(default 0 =\n"
+      "               one per canonical chunk). Scheduling only: the "
+      "graph bytes\n"
+      "               are identical for every C.\n"
       "  --protocol SCHEME  a canonical scheme name (see --list-schemes) "
       "or one of\n"
       "               the aliases push-pull, median, seq\n"
@@ -147,6 +162,7 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (flag == "--graph") opt.graph = next();
     else if (flag == "--n") opt.n = static_cast<rrb::NodeId>(std::stoul(next()));
     else if (flag == "--d") opt.d = static_cast<rrb::NodeId>(std::stoul(next()));
+    else if (flag == "--chunks") opt.chunks = std::stoi(next());
     else if (flag == "--choices") opt.choices = std::stoi(next());
     else if (flag == "--memory") opt.memory = std::stoi(next());
     else if (flag == "--quasirandom") opt.quasirandom = true;
@@ -163,6 +179,7 @@ bool parse(int argc, char** argv, Options& opt) {
   }
   if (opt.runner.threads < 0) throw std::runtime_error("--threads must be >= 0");
   if (opt.runner.chunk < 0) throw std::runtime_error("--chunk must be >= 0");
+  if (opt.chunks < 0) throw std::runtime_error("--chunks must be >= 0");
   return true;
 }
 
@@ -223,6 +240,19 @@ int main(int argc, char** argv) {
     graph_factory = [&](Rng& rng) {
       return preferential_attachment(opt.n, std::max<NodeId>(2, opt.d / 2),
                                      rng);
+    };
+  } else if (opt.graph == "chunked" || opt.graph == "chunked-out") {
+    // rrb::bigtopo compact-CSR path, seeded from the trial stream like the
+    // campaign runner's chunked family. --chunks batches execution only.
+    const bool out_links = opt.graph == "chunked-out";
+    graph_factory = [&, out_links](Rng& rng) {
+      bigtopo::ChunkedParams params;
+      params.n = opt.n;
+      params.d = opt.d;
+      params.seed = rng.next_u64();
+      params.chunks = opt.chunks;
+      return out_links ? bigtopo::chunked_random_out(params)
+                       : bigtopo::chunked_configuration_model(params);
     };
   } else {
     // Treat as a file path.

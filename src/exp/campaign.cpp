@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "rrb/bigtopo/bigtopo.hpp"
 #include "rrb/core/scheme_dispatch.hpp"
 #include "rrb/exp/journal.hpp"
 #include "rrb/graph/generators.hpp"
@@ -44,6 +45,7 @@ namespace {
   options.failure_prob = cell.failure;
   options.quasirandom = cell.quasirandom;
   options.num_choices = cell.choices;  // 0 = scheme canonical
+  options.memory = cell.memory;        // -1 = scheme canonical
   options.max_rounds = spec.max_rounds;
   return options;
 }
@@ -61,7 +63,8 @@ namespace {
   return shape;
 }
 
-[[nodiscard]] GraphFactory graph_factory_for(const CampaignCell& cell) {
+[[nodiscard]] GraphFactory graph_factory_for(const CampaignSpec& spec,
+                                             const CampaignCell& cell) {
   const NodeId n = cell.n;
   const NodeId d = cell.d;
   switch (cell.graph) {
@@ -80,6 +83,29 @@ namespace {
     }
     case GraphFamily::kComplete:
       return [n](Rng&) { return complete(n); };
+    case GraphFamily::kChunked: {
+      // The chunked generator is seeded from the trial stream (one draw),
+      // so its per-trial identity follows the same (cell_seed, trial)
+      // contract as every stateful generator. `chunks` only batches
+      // execution and changes no graph byte.
+      const int chunks = spec.chunks;
+      return [n, d, chunks](Rng& rng) {
+        bigtopo::ChunkedParams params;
+        params.n = n;
+        params.d = d;
+        params.seed = rng.next_u64();
+        params.chunks = chunks;
+        return bigtopo::chunked_configuration_model(params);
+      };
+    }
+    case GraphFamily::kProductK5:
+      // The E10 construction: a random (d-4)-regular base on n/5 nodes,
+      // each node blown up into a K_5 (cartesian product), giving a
+      // d-regular product graph (expand_cells validated divisibility).
+      return [n, d](Rng& rng) {
+        return cartesian_product(random_regular_simple(n / 5, d - 4, rng),
+                                 complete(5));
+      };
   }
   throw std::runtime_error("unknown graph family");
 }
@@ -153,7 +179,7 @@ void run_static_cell(const CampaignSpec& spec, const CampaignCell& cell,
   config.random_source = spec.random_source;
   config.runner = trial_runner;
 
-  const GraphFactory graph_factory = graph_factory_for(cell);
+  const GraphFactory graph_factory = graph_factory_for(spec, cell);
   const ProtocolFactory protocol_factory = [options](const Graph& graph) {
     return make_scheme(graph, options).protocol;
   };

@@ -35,6 +35,30 @@ enum class GraphFamily {
   kGnp,          ///< Erdős–Rényi G(n, p) with p = d/(n-1)
   kHypercube,    ///< hypercube on n = 2^dim nodes (d ignored)
   kComplete,     ///< complete graph K_n (d ignored)
+  kChunked,      ///< bigtopo::chunked_configuration_model(n, d) — the compact
+                 ///< CSR path for n in the 10^6–10^8 regime
+  kProductK5,    ///< cartesian product random_regular_simple(n/5, d-4) × K_5
+                 ///< (the E10 product-graph construction)
+};
+
+/// How one value of the degree axis is computed from a cell's n. Literal
+/// values reproduce the plain `d = 3, 8` axis; the derived rules express
+/// the density sweeps of the FHP "density does not matter" prediction
+/// (d = log n, 2 log n, √n) without pinning one n.
+enum class DegreeRule {
+  kLiteral,   ///< the stored value itself
+  kLog2N,     ///< ceil(log2 n)         — spec spelling `log2n`
+  kTwoLog2N,  ///< 2 * ceil(log2 n)     — spec spelling `2log2n`
+  kSqrtN,     ///< floor(sqrt(n))       — spec spelling `sqrtn`
+};
+
+/// One entry of a rule-based degree axis: a rule plus its literal value
+/// (meaningful only for kLiteral).
+struct DegreeSpec {
+  DegreeRule rule = DegreeRule::kLiteral;
+  NodeId value = 0;
+
+  friend bool operator==(const DegreeSpec&, const DegreeSpec&) = default;
 };
 
 /// Stable family name, used in cell keys and spec files.
@@ -80,6 +104,18 @@ struct CampaignSpec {
   /// the default — keeps it, adds no key part and changes no fingerprint.
   std::vector<int> choices{0};
 
+  /// Memory-window override axis (the E15 sequentialised comparison): value
+  /// m >= 0 overrides the scheme's canonical BroadcastOptions::memory (0 =
+  /// memoryless); -1 — the default — keeps the scheme canonical, adds no
+  /// key part and changes no fingerprint. Spec key `memory`.
+  std::vector<int> memory_values{-1};
+
+  /// Rule-based degree axis (spec line `d = 3, log2n, 2log2n, sqrtn`):
+  /// when non-empty it supersedes d_values, resolving each rule against
+  /// the cell's n at expansion. Empty (the default) keeps the literal
+  /// d_values axis and existing fingerprints.
+  std::vector<DegreeSpec> d_rules;
+
   /// Derive each cell's degree from its n as d = 2·ceil(log2 n) (the E2 /
   /// Theorem 3 large-degree regime) instead of taking the d axis. Spec
   /// syntax: `d = 2log2n`. Default off, so plain specs keep their
@@ -93,6 +129,12 @@ struct CampaignSpec {
   bool overlay = false;         ///< run every cell on the dynamic overlay
   int churn_switches = 2;       ///< maintenance 2-switches per round
   double churn_headroom = 0.5;  ///< overlay slot capacity = n * (1 + this)
+
+  /// Execution batches for the chunked family (bigtopo::ChunkedParams::
+  /// chunks; 0 = one batch per canonical chunk). Scheduling, never
+  /// semantics: not part of cell keys, describe() or the fingerprint —
+  /// the generated graphs are byte-identical for every value.
+  int chunks = 0;
 
   // ---- Metrics. Registry metrics (rrb/metrics/registry.hpp) collected
   // per trial via the observer pipeline and emitted as extra
@@ -121,6 +163,7 @@ struct CampaignCell {
   double failure = 0.0;
   double churn = 0.0;
   int choices = 0;         ///< num_choices override; 0 = scheme canonical
+  int memory = -1;         ///< memory override; -1 = scheme canonical
   bool overlay = false;    ///< runs on the dynamic overlay (churn > 0 or
                            ///< spec.overlay)
   std::string key;         ///< canonical cell key (see cell_key)
@@ -129,8 +172,9 @@ struct CampaignCell {
 
 /// Canonical cell key: `scheme=<s>;qr=<0|1>;graph=<g>;n=<n>;d=<d>;
 /// alpha=<a>;failure=<f>;churn=<c>`, with
-/// `;overlay=1;switches=<k>;headroom=<h>` appended for overlay cells and
-/// `;choices=<k>` appended when the cell overrides num_choices — optional
+/// `;overlay=1;switches=<k>;headroom=<h>` appended for overlay cells,
+/// `;choices=<k>` appended when the cell overrides num_choices and
+/// `;memory=<m>` when it overrides the memory window — optional
 /// parts only appear when non-default, so existing keys (and their seeds)
 /// never move when the spec grammar grows.
 /// Doubles render via format_double, so the key is platform-independent.

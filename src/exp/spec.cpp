@@ -14,9 +14,11 @@ namespace rrb::exp {
 
 namespace {
 
-constexpr std::array<GraphFamily, 5> kAllFamilies = {
-    GraphFamily::kRegular, GraphFamily::kConfigModel, GraphFamily::kGnp,
-    GraphFamily::kHypercube, GraphFamily::kComplete};
+constexpr std::array<GraphFamily, 7> kAllFamilies = {
+    GraphFamily::kRegular,   GraphFamily::kConfigModel,
+    GraphFamily::kGnp,       GraphFamily::kHypercube,
+    GraphFamily::kComplete,  GraphFamily::kChunked,
+    GraphFamily::kProductK5};
 
 [[nodiscard]] std::string_view trim(std::string_view text) {
   while (!text.empty() && (text.front() == ' ' || text.front() == '\t'))
@@ -118,6 +120,8 @@ const char* graph_family_name(GraphFamily family) {
     case GraphFamily::kGnp: return "gnp";
     case GraphFamily::kHypercube: return "hypercube";
     case GraphFamily::kComplete: return "complete";
+    case GraphFamily::kChunked: return "chunked";
+    case GraphFamily::kProductK5: return "regular-x-k5";
   }
   fail("unknown GraphFamily value " +
        std::to_string(static_cast<int>(family)));
@@ -148,6 +152,7 @@ std::string cell_key(const CampaignCell& cell, const CampaignSpec& spec) {
     key += ";headroom=" + format_double(spec.churn_headroom);
   }
   if (cell.choices > 0) key += ";choices=" + std::to_string(cell.choices);
+  if (cell.memory >= 0) key += ";memory=" + std::to_string(cell.memory);
   return key;
 }
 
@@ -176,6 +181,57 @@ namespace {
   return ceil_log2(n);  // hypercube
 }
 
+[[nodiscard]] NodeId floor_isqrt(NodeId n) {
+  NodeId r = 0;
+  while ((static_cast<std::uint64_t>(r) + 1) * (r + 1) <= n) ++r;
+  return r;
+}
+
+/// Canonical spec spelling of one degree-axis entry (describe() emits it,
+/// apply_setting parses it back — byte round-trip).
+[[nodiscard]] std::string degree_rule_spelling(const DegreeSpec& entry) {
+  switch (entry.rule) {
+    case DegreeRule::kLiteral: return std::to_string(entry.value);
+    case DegreeRule::kLog2N: return "log2n";
+    case DegreeRule::kTwoLog2N: return "2log2n";
+    case DegreeRule::kSqrtN: return "sqrtn";
+  }
+  fail("unknown DegreeRule value");
+}
+
+[[nodiscard]] NodeId resolve_degree(const DegreeSpec& entry, NodeId n) {
+  switch (entry.rule) {
+    case DegreeRule::kLiteral: return entry.value;
+    case DegreeRule::kLog2N: return ceil_log2(n);
+    case DegreeRule::kTwoLog2N: return 2 * ceil_log2(n);
+    case DegreeRule::kSqrtN: return floor_isqrt(n);
+  }
+  fail("unknown DegreeRule value");
+}
+
+/// The effective degree axis for one n: the resolved d_rules when present,
+/// the literal d_values otherwise. Two rules resolving to the same d at
+/// some n would duplicate a cell under one key — refused.
+[[nodiscard]] std::vector<NodeId> effective_degrees(const CampaignSpec& spec,
+                                                    NodeId n) {
+  if (spec.d_rules.empty()) return spec.d_values;
+  std::vector<NodeId> out;
+  out.reserve(spec.d_rules.size());
+  for (const DegreeSpec& entry : spec.d_rules) {
+    const NodeId d = resolve_degree(entry, n);
+    if (d < 1)
+      fail("degree rule '" + degree_rule_spelling(entry) +
+           "' resolves to d < 1 at n = " + std::to_string(n));
+    for (const NodeId prev : out)
+      if (prev == d)
+        fail("degree rules resolve to duplicate d = " + std::to_string(d) +
+             " at n = " + std::to_string(n) +
+             " — the cells would collide under one key");
+    out.push_back(d);
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<CampaignCell> expand_cells(const CampaignSpec& spec) {
@@ -183,7 +239,7 @@ std::vector<CampaignCell> expand_cells(const CampaignSpec& spec) {
   if (spec.schemes.empty() || spec.quasirandom.empty() ||
       spec.n_values.empty() || spec.d_values.empty() || spec.alphas.empty() ||
       spec.failures.empty() || spec.churn_rates.empty() ||
-      spec.choices.empty())
+      spec.choices.empty() || spec.memory_values.empty())
     fail("campaign axes must be non-empty");
   if (family_ignores_d(spec.graph) && spec.d_values.size() > 1)
     fail(std::string(graph_family_name(spec.graph)) +
@@ -196,59 +252,88 @@ std::vector<CampaignCell> expand_cells(const CampaignSpec& spec) {
   if (spec.derived_d && spec.d_values.size() > 1)
     fail("'d = 2log2n' derives the degree from n — a d axis with multiple "
          "values would duplicate identical cells");
+  if (!spec.d_rules.empty() && spec.derived_d)
+    fail("rule-based d axis and 'd = 2log2n' cannot combine");
+  if (!spec.d_rules.empty() && family_ignores_d(spec.graph))
+    fail(std::string(graph_family_name(spec.graph)) +
+         " derives the degree from n — a rule-based d axis would shadow "
+         "the family's rule");
+  if (spec.chunks < 0) fail("chunks must be >= 0");
 
   std::vector<CampaignCell> cells;
   for (const BroadcastScheme scheme : spec.schemes)
     for (const bool qr : spec.quasirandom)
       for (const NodeId n : spec.n_values)
-        for (const NodeId d : spec.d_values)
+        for (const NodeId d : effective_degrees(spec, n))
           for (const double alpha : spec.alphas)
             for (const double failure : spec.failures)
               for (const double churn : spec.churn_rates)
-                for (const int choices : spec.choices) {
-                  CampaignCell cell;
-                  cell.index = cells.size();
-                  cell.scheme = scheme;
-                  cell.quasirandom = qr;
-                  cell.graph = spec.graph;
-                  cell.n = n;
-                  cell.d = spec.derived_d ? 2 * ceil_log2(n) : d;
-                  cell.alpha = alpha;
-                  cell.failure = failure;
-                  cell.churn = churn;
-                  cell.choices = choices;
-                  cell.overlay = spec.overlay || churn > 0.0;
-                  if (cell.n < 2)
-                    fail("cell n must be >= 2");
-                  if (choices < 0 || choices > (1 << 10))
-                    fail("choices out of range");
-                  // Negated comparisons so NaN axis values fail validation
-                  // instead of slipping through as a bogus grid point.
-                  if (!std::isfinite(alpha)) fail("alpha must be finite");
-                  if (!(churn >= 0.0) || !std::isfinite(churn))
-                    fail("churn rate must be finite and >= 0");
-                  if (!(failure >= 0.0 && failure <= 1.0))
-                    fail("failure probability must be in [0, 1]");
-                  // Mirrors the canonical channel pairing: the
-                  // sequentialised scheme's memory window is mutually
-                  // exclusive with quasirandom selection, so fail at
-                  // expansion instead of mid-campaign at engine
-                  // construction.
-                  if (qr && scheme == BroadcastScheme::kSequentialised)
-                    fail("quasirandom cannot combine with the "
-                         "sequentialised scheme's memory window");
-                  if (family_ignores_d(spec.graph))
-                    cell.d = derived_degree(spec.graph, cell.n);
-                  if (cell.overlay && spec.graph != GraphFamily::kRegular)
-                    fail("overlay (churn) cells run on the dynamic overlay "
-                         "and need graph = regular");
-                  if (spec.graph == GraphFamily::kHypercube &&
-                      (cell.n & (cell.n - 1)) != 0)
-                    fail("hypercube cells need n to be a power of two");
-                  cell.key = cell_key(cell, spec);
-                  cell.seed = cell_seed(spec.seed, cell.key);
-                  cells.push_back(std::move(cell));
-                }
+                for (const int choices : spec.choices)
+                  for (const int memory : spec.memory_values) {
+                    CampaignCell cell;
+                    cell.index = cells.size();
+                    cell.scheme = scheme;
+                    cell.quasirandom = qr;
+                    cell.graph = spec.graph;
+                    cell.n = n;
+                    cell.d = spec.derived_d ? 2 * ceil_log2(n) : d;
+                    cell.alpha = alpha;
+                    cell.failure = failure;
+                    cell.churn = churn;
+                    cell.choices = choices;
+                    cell.memory = memory;
+                    cell.overlay = spec.overlay || churn > 0.0;
+                    if (cell.n < 2)
+                      fail("cell n must be >= 2");
+                    if (choices < 0 || choices > (1 << 10))
+                      fail("choices out of range");
+                    if (memory < -1 || memory > (1 << 20))
+                      fail("memory out of range");
+                    // Negated comparisons so NaN axis values fail validation
+                    // instead of slipping through as a bogus grid point.
+                    if (!std::isfinite(alpha)) fail("alpha must be finite");
+                    if (!(churn >= 0.0) || !std::isfinite(churn))
+                      fail("churn rate must be finite and >= 0");
+                    if (!(failure >= 0.0 && failure <= 1.0))
+                      fail("failure probability must be in [0, 1]");
+                    // Mirrors the canonical channel pairing: the
+                    // sequentialised scheme's memory window is mutually
+                    // exclusive with quasirandom selection, so fail at
+                    // expansion instead of mid-campaign at engine
+                    // construction.
+                    if (qr && scheme == BroadcastScheme::kSequentialised)
+                      fail("quasirandom cannot combine with the "
+                           "sequentialised scheme's memory window");
+                    if (family_ignores_d(spec.graph))
+                      cell.d = derived_degree(spec.graph, cell.n);
+                    if (cell.overlay && spec.graph != GraphFamily::kRegular)
+                      fail("overlay (churn) cells run on the dynamic overlay "
+                           "and need graph = regular");
+                    if (spec.graph == GraphFamily::kHypercube &&
+                        (cell.n & (cell.n - 1)) != 0)
+                      fail("hypercube cells need n to be a power of two");
+                    if (spec.graph == GraphFamily::kChunked &&
+                        (static_cast<std::uint64_t>(cell.n) * cell.d) % 2 != 0)
+                      fail("chunked cells need n*d even (configuration "
+                           "model pairs stubs)");
+                    if (spec.graph == GraphFamily::kProductK5) {
+                      if (cell.n % 5 != 0)
+                        fail("regular-x-k5 cells need n divisible by 5");
+                      if (cell.d < 5)
+                        fail("regular-x-k5 cells need d >= 5 (K_5 "
+                             "contributes degree 4)");
+                      const NodeId base_n = cell.n / 5;
+                      const NodeId base_d = cell.d - 4;
+                      if (base_n < base_d + 1 ||
+                          (static_cast<std::uint64_t>(base_n) * base_d) % 2 !=
+                              0)
+                        fail("regular-x-k5 base factor needs n/5 >= d-3 and "
+                             "(n/5)*(d-4) even");
+                    }
+                    cell.key = cell_key(cell, spec);
+                    cell.seed = cell_seed(spec.seed, cell.key);
+                    cells.push_back(std::move(cell));
+                  }
   return cells;
 }
 
@@ -280,10 +365,16 @@ std::string describe(const CampaignSpec& spec) {
   out += "n = ";
   append_axis_u32(out, spec.n_values);
   out += "\nd = ";
-  if (spec.derived_d)
+  if (spec.derived_d) {
     out += "2log2n";
-  else
+  } else if (!spec.d_rules.empty()) {
+    for (std::size_t i = 0; i < spec.d_rules.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += degree_rule_spelling(spec.d_rules[i]);
+    }
+  } else {
     append_axis_u32(out, spec.d_values);
+  }
   out += "\nalpha = ";
   append_axis_double(out, spec.alphas);
   out += "\nfailure = ";
@@ -305,6 +396,22 @@ std::string describe(const CampaignSpec& spec) {
     }
     out += "\n";
   }
+  // Same emit-only-when-non-default rule as choices: a spec without a
+  // memory axis keeps its describe() bytes and fingerprint.
+  if (spec.memory_values.size() != 1 || spec.memory_values[0] != -1) {
+    out += "memory = ";
+    for (std::size_t i = 0; i < spec.memory_values.size(); ++i) {
+      if (i != 0) out += ", ";
+      // -1 spells "default" so the emitted line parses back.
+      out += spec.memory_values[i] < 0
+                 ? std::string("default")
+                 : std::to_string(spec.memory_values[i]);
+    }
+    out += "\n";
+  }
+  // `chunks` is deliberately absent: execution batching is scheduling,
+  // never semantics, so it must not move the fingerprint (a resume under
+  // a different chunk count reuses every journal line).
   // Emitted only when non-empty so a metric-less spec's describe() (and
   // campaign.json echo) is byte-stable regardless of metrics support.
   if (!spec.metrics.empty()) {
@@ -369,11 +476,36 @@ void apply_setting(CampaignSpec& spec, std::string_view key,
       return static_cast<NodeId>(n);
     });
   } else if (key == "d") {
+    spec.derived_d = false;
+    spec.d_rules.clear();
+    bool has_rule = false;
+    for (const std::string_view item : split_list(value))
+      if (item == "log2n" || item == "2log2n" || item == "sqrtn")
+        has_rule = true;
     if (value == "2log2n") {
+      // Single bare "2log2n" keeps the legacy derived-d spelling (and its
+      // describe()/fingerprint bytes) rather than becoming a 1-rule axis.
       spec.derived_d = true;
       spec.d_values = {1};  // placeholder; expand_cells derives per cell
+    } else if (has_rule) {
+      spec.d_rules = parse_axis<DegreeSpec>(value, [](std::string_view v) {
+        DegreeSpec entry;
+        if (v == "log2n") {
+          entry.rule = DegreeRule::kLog2N;
+        } else if (v == "2log2n") {
+          entry.rule = DegreeRule::kTwoLog2N;
+        } else if (v == "sqrtn") {
+          entry.rule = DegreeRule::kSqrtN;
+        } else {
+          const std::uint64_t d = parse_u64(v);
+          if (d < 1 || d > (1ULL << 20)) fail("d out of range");
+          entry.rule = DegreeRule::kLiteral;
+          entry.value = static_cast<NodeId>(d);
+        }
+        return entry;
+      });
+      spec.d_values = {1};  // placeholder; superseded by d_rules
     } else {
-      spec.derived_d = false;
       spec.d_values = parse_axis<NodeId>(value, [](std::string_view v) {
         const std::uint64_t d = parse_u64(v);
         if (d < 1 || d > (1ULL << 20)) fail("d out of range");
@@ -392,6 +524,17 @@ void apply_setting(CampaignSpec& spec, std::string_view key,
       if (k > (1U << 10)) fail("choices out of range");
       return static_cast<int>(k);
     });
+  } else if (key == "memory") {
+    spec.memory_values = parse_axis<int>(value, [](std::string_view v) {
+      if (v == "default" || v == "-1") return -1;
+      const std::uint64_t m = parse_u64(v);
+      if (m > (1U << 20)) fail("memory out of range");
+      return static_cast<int>(m);
+    });
+  } else if (key == "chunks") {
+    const std::uint64_t chunks = parse_u64(value);
+    if (chunks > (1U << 20)) fail("chunks out of range");
+    spec.chunks = static_cast<int>(chunks);
   } else if (key == "overlay") {
     spec.overlay = parse_bool(value);
   } else if (key == "churn_switches") {

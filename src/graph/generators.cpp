@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 namespace rrb {
@@ -13,6 +14,14 @@ namespace {
 [[nodiscard]] std::uint64_t pair_key(NodeId a, NodeId b) {
   if (a > b) std::swap(a, b);
   return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+/// Node counts combine in 64-bit and must land back in the NodeId range
+/// (n <= 2^31, types.hpp) before a GraphBuilder is sized with them.
+[[nodiscard]] NodeId checked_node_count(std::uint64_t n, const char* what) {
+  RRB_REQUIRE(n <= (std::uint64_t{1} << 31),
+              std::string(what) + ": node count exceeds NodeId range");
+  return static_cast<NodeId>(n);
 }
 
 }  // namespace
@@ -178,7 +187,8 @@ Graph complete(NodeId n) {
 }
 
 Graph complete_bipartite(NodeId a, NodeId b) {
-  GraphBuilder builder(a + b);
+  GraphBuilder builder(checked_node_count(
+      static_cast<std::uint64_t>(a) + b, "complete_bipartite"));
   for (NodeId u = 0; u < a; ++u)
     for (NodeId v = 0; v < b; ++v) builder.add_edge(u, a + v);
   return builder.build();
@@ -218,7 +228,8 @@ Graph hypercube(int dim) {
 
 Graph torus(NodeId rows, NodeId cols) {
   RRB_REQUIRE(rows >= 3 && cols >= 3, "torus: dims >= 3");
-  GraphBuilder builder(rows * cols);
+  GraphBuilder builder(checked_node_count(
+      static_cast<std::uint64_t>(rows) * cols, "torus"));
   auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
   for (NodeId r = 0; r < rows; ++r)
     for (NodeId c = 0; c < cols; ++c) {
@@ -232,7 +243,8 @@ Graph cartesian_product(const Graph& g, const Graph& h) {
   const NodeId gn = g.num_nodes();
   const NodeId hn = h.num_nodes();
   RRB_REQUIRE(gn > 0 && hn > 0, "cartesian_product: empty factor");
-  GraphBuilder builder(gn * hn);
+  GraphBuilder builder(checked_node_count(
+      static_cast<std::uint64_t>(gn) * hn, "cartesian_product"));
   auto id = [hn](NodeId u, NodeId i) { return u * hn + i; };
   for (const Edge& e : g.edge_list())
     for (NodeId i = 0; i < hn; ++i) builder.add_edge(id(e.u, i), id(e.v, i));
@@ -243,7 +255,8 @@ Graph cartesian_product(const Graph& g, const Graph& h) {
 
 Graph disjoint_union(const Graph& g, const Graph& h) {
   const NodeId gn = g.num_nodes();
-  GraphBuilder builder(gn + h.num_nodes());
+  GraphBuilder builder(checked_node_count(
+      static_cast<std::uint64_t>(gn) + h.num_nodes(), "disjoint_union"));
   for (const Edge& e : g.edge_list()) builder.add_edge(e.u, e.v);
   for (const Edge& e : h.edge_list()) builder.add_edge(gn + e.u, gn + e.v);
   return builder.build();

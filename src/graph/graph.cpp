@@ -1,23 +1,69 @@
 #include "rrb/graph/graph.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace rrb {
+
+namespace {
+
+struct CsrCounts {
+  Count edges = 0;
+  Count self_loops = 0;
+  Count parallel_extra = 0;
+};
+
+/// One scan over sorted per-node lists deriving the multigraph summary:
+/// num_edges = entries/2; a run of k equal entries w at node v contributes
+/// k-1 parallel extras when w > v, and k/2 self-loops (k/2 - 1 extras)
+/// when w == v. Shared by from_edges and from_csr so both construction
+/// paths agree byte-for-byte on the derived counts.
+[[nodiscard]] CsrCounts scan_sorted_csr(const std::vector<Count>& offsets,
+                                        const std::vector<NodeId>& adjacency) {
+  CsrCounts counts;
+  counts.edges = adjacency.size() / 2;
+  const auto n = static_cast<NodeId>(offsets.size() - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t begin = offsets[v];
+    const std::size_t end = offsets[v + 1];
+    std::size_t i = begin;
+    while (i < end) {
+      std::size_t j = i;
+      while (j < end && adjacency[j] == adjacency[i]) ++j;
+      const NodeId w = adjacency[i];
+      const std::size_t run = j - i;
+      if (w > v) {
+        counts.parallel_extra += run - 1;
+      } else if (w == v) {
+        counts.self_loops += run / 2;
+        counts.parallel_extra += run / 2 - (run >= 2 ? 1 : 0);
+      }
+      i = j;
+    }
+  }
+  return counts;
+}
+
+}  // namespace
 
 Graph::Graph(NodeId n) : offsets_(static_cast<std::size_t>(n) + 1, 0) {}
 
 Graph Graph::from_edges(NodeId n, std::span<const Edge> edges) {
   Graph g(n);
-  g.num_edges_ = edges.size();
 
-  // Count stub degrees: each endpoint once, self-loops twice.
+  // Count stub degrees: each endpoint once, self-loops twice. All degree
+  // and offset arithmetic runs in 64-bit Count — 2 * edges.size() stubs
+  // cannot overflow, but a single node's stub count must still fit the
+  // NodeId returned by degree().
   std::vector<Count> degree(n, 0);
   for (const Edge& e : edges) {
     RRB_REQUIRE(e.u < n && e.v < n, "from_edges: endpoint out of range");
     ++degree[e.u];
     ++degree[e.v];
-    if (e.u == e.v) ++g.num_self_loops_;
   }
+  for (NodeId v = 0; v < n; ++v)
+    RRB_REQUIRE(degree[v] <= std::numeric_limits<NodeId>::max(),
+                "from_edges: node degree exceeds NodeId range");
 
   g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
   for (NodeId v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + degree[v];
@@ -35,28 +81,71 @@ Graph Graph::from_edges(NodeId n, std::span<const Edge> edges) {
     std::sort(first, last);
   }
 
-  // Parallel-extra count: for each unordered pair {u,v}, multiplicity - 1
-  // summed. Count from the sorted adjacency of the smaller endpoint; loops
-  // are handled separately (multiplicity m of a loop contributes m - 1).
-  Count parallel = 0;
+  const CsrCounts counts = scan_sorted_csr(g.offsets_, g.adjacency_);
+  g.num_edges_ = counts.edges;
+  g.num_self_loops_ = counts.self_loops;
+  g.num_parallel_ = counts.parallel_extra;
+  return g;
+}
+
+Graph Graph::from_csr(std::vector<Count> offsets,
+                      std::vector<NodeId> adjacency,
+                      CsrValidation validation) {
+  RRB_REQUIRE(!offsets.empty(), "from_csr: offsets must have size n+1");
+  RRB_REQUIRE(offsets.front() == 0, "from_csr: offsets[0] must be 0");
+  RRB_REQUIRE(offsets.back() == adjacency.size(),
+              "from_csr: offsets[n] must equal adjacency size");
+  RRB_REQUIRE(adjacency.size() % 2 == 0,
+              "from_csr: total stub count must be even");
+  const auto n = static_cast<NodeId>(offsets.size() - 1);
   for (NodeId v = 0; v < n; ++v) {
-    const auto adj = g.neighbors(v);
-    std::size_t i = 0;
-    while (i < adj.size()) {
-      std::size_t j = i;
-      while (j < adj.size() && adj[j] == adj[i]) ++j;
-      const NodeId w = adj[i];
-      const std::size_t run = j - i;
-      if (w > v) {
-        parallel += run - 1;
-      } else if (w == v) {
-        // Each loop contributes two entries; run/2 loops at v.
-        parallel += run / 2 - (run >= 2 ? 1 : 0);
-      }
-      i = j;
+    RRB_REQUIRE(offsets[v] <= offsets[v + 1],
+                "from_csr: offsets must be non-decreasing");
+    RRB_REQUIRE(offsets[v + 1] - offsets[v] <=
+                    std::numeric_limits<NodeId>::max(),
+                "from_csr: node degree exceeds NodeId range");
+    const std::size_t begin = offsets[v];
+    const std::size_t end = offsets[v + 1];
+    for (std::size_t i = begin; i < end; ++i) {
+      RRB_REQUIRE(adjacency[i] < n, "from_csr: adjacency entry out of range");
+      RRB_REQUIRE(i == begin || adjacency[i - 1] <= adjacency[i],
+                  "from_csr: adjacency lists must be sorted per node");
     }
   }
-  g.num_parallel_ = parallel;
+
+  if (validation == CsrValidation::kFull) {
+    // Undirected symmetry: every (v,w) run must be mirrored with equal
+    // multiplicity at w, and self-loop entries must pair up.
+    for (NodeId v = 0; v < n; ++v) {
+      std::size_t i = offsets[v];
+      const std::size_t end = offsets[v + 1];
+      while (i < end) {
+        std::size_t j = i;
+        while (j < end && adjacency[j] == adjacency[i]) ++j;
+        const NodeId w = adjacency[i];
+        const std::size_t run = j - i;
+        if (w == v) {
+          RRB_REQUIRE(run % 2 == 0,
+                      "from_csr: self-loop entries must come in pairs");
+        } else {
+          const auto* wb = adjacency.data() + offsets[w];
+          const auto* we = adjacency.data() + offsets[w + 1];
+          const auto [lo, hi] = std::equal_range(wb, we, v);
+          RRB_REQUIRE(static_cast<std::size_t>(hi - lo) == run,
+                      "from_csr: asymmetric edge multiplicity");
+        }
+        i = j;
+      }
+    }
+  }
+
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  const CsrCounts counts = scan_sorted_csr(g.offsets_, g.adjacency_);
+  g.num_edges_ = counts.edges;
+  g.num_self_loops_ = counts.self_loops;
+  g.num_parallel_ = counts.parallel_extra;
   return g;
 }
 

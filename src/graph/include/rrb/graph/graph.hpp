@@ -31,6 +31,15 @@ struct Edge {
   friend bool operator==(const Edge&, const Edge&) = default;
 };
 
+/// How much of the CSR contract Graph::from_csr verifies.
+///  - kBasic: O(entries) — offsets well-formed (0-anchored, monotone,
+///    matching adjacency size, even total), every entry in range, every
+///    per-node list sorted, every degree within NodeId range.
+///  - kFull: kBasic plus undirected symmetry (every (v,w) run is mirrored
+///    by an equal-multiplicity (w,v) run and self-loop runs are even) —
+///    O(entries · log d); meant for tests, not the large-n hot path.
+enum class CsrValidation { kBasic, kFull };
+
 class Graph {
  public:
   /// Empty graph on n nodes.
@@ -39,6 +48,16 @@ class Graph {
   /// Build from an explicit edge list (endpoints may be in any order;
   /// duplicates are kept as parallel edges, u == v kept as self-loops).
   [[nodiscard]] static Graph from_edges(NodeId n, std::span<const Edge> edges);
+
+  /// Adopt an already-assembled CSR without re-materialising an edge list:
+  /// offsets has size n+1, adjacency holds each node's sorted stub list
+  /// (parallel edges once per multiplicity; a self-loop twice at its node).
+  /// This is the compact path used by rrb::bigtopo — peak memory is the
+  /// CSR itself. Validation per CsrValidation; edge/loop/parallel counts
+  /// are derived in one scan of the sorted lists.
+  [[nodiscard]] static Graph from_csr(
+      std::vector<Count> offsets, std::vector<NodeId> adjacency,
+      CsrValidation validation = CsrValidation::kBasic);
 
   [[nodiscard]] NodeId num_nodes() const {
     return static_cast<NodeId>(offsets_.size() - 1);

@@ -257,6 +257,135 @@ TEST(CampaignExpand, FamiliesThatDeriveDegreeNormaliseTheDAxis) {
   EXPECT_EQ(complete_cells[0].d, 31U);
 }
 
+// ---- bigtopo-era axes: chunked family, degree rules, memory axis -----------
+
+TEST(CampaignExpand, ChunkedAndProductFamiliesRoundTrip) {
+  EXPECT_EQ(parse_graph_family("chunked"), GraphFamily::kChunked);
+  EXPECT_EQ(parse_graph_family("regular-x-k5"), GraphFamily::kProductK5);
+  EXPECT_STREQ(graph_family_name(GraphFamily::kChunked), "chunked");
+  EXPECT_STREQ(graph_family_name(GraphFamily::kProductK5), "regular-x-k5");
+
+  std::istringstream in(
+      "name = big\n"
+      "graph = chunked\n"
+      "scheme = push\n"
+      "n = 2^20\n"
+      "d = 3, log2n, sqrtn\n"
+      "chunks = 7\n");
+  const CampaignSpec spec = parse_spec(in);
+  EXPECT_EQ(spec.graph, GraphFamily::kChunked);
+  EXPECT_EQ(spec.chunks, 7);
+  ASSERT_EQ(spec.d_rules.size(), 3U);
+  EXPECT_EQ(spec.d_rules[0], (DegreeSpec{DegreeRule::kLiteral, 3}));
+  EXPECT_EQ(spec.d_rules[1], (DegreeSpec{DegreeRule::kLog2N, 0}));
+  EXPECT_EQ(spec.d_rules[2], (DegreeSpec{DegreeRule::kSqrtN, 0}));
+
+  // describe() spells the rules back, so the round-trip is byte-stable —
+  // but deliberately omits `chunks` (scheduling, never semantics).
+  const std::string described = describe(spec);
+  EXPECT_NE(described.find("d = 3, log2n, sqrtn"), std::string::npos);
+  EXPECT_EQ(described.find("chunks"), std::string::npos);
+  std::istringstream again(described);
+  EXPECT_EQ(spec_fingerprint(parse_spec(again)), spec_fingerprint(spec));
+}
+
+TEST(CampaignExpand, ChunksNeverMoveTheFingerprintOrKeys) {
+  CampaignSpec a = tiny_spec();
+  CampaignSpec b = tiny_spec();
+  b.chunks = 64;
+  EXPECT_EQ(spec_fingerprint(a), spec_fingerprint(b));
+  const auto cells_a = expand_cells(a);
+  const auto cells_b = expand_cells(b);
+  ASSERT_EQ(cells_a.size(), cells_b.size());
+  for (std::size_t i = 0; i < cells_a.size(); ++i) {
+    EXPECT_EQ(cells_a[i].key, cells_b[i].key);
+    EXPECT_EQ(cells_a[i].seed, cells_b[i].seed);
+  }
+}
+
+TEST(CampaignExpand, DegreeRulesResolvePerN) {
+  CampaignSpec spec;
+  spec.graph = GraphFamily::kChunked;
+  spec.schemes = {BroadcastScheme::kPush};
+  spec.n_values = {1 << 16};
+  spec.d_rules = {{DegreeRule::kLiteral, 3},
+                  {DegreeRule::kLog2N, 0},
+                  {DegreeRule::kTwoLog2N, 0},
+                  {DegreeRule::kSqrtN, 0}};
+  const auto cells = expand_cells(spec);
+  ASSERT_EQ(cells.size(), 4U);
+  EXPECT_EQ(cells[0].d, 3U);
+  EXPECT_EQ(cells[1].d, 16U);   // ceil(log2 2^16)
+  EXPECT_EQ(cells[2].d, 32U);
+  EXPECT_EQ(cells[3].d, 256U);  // floor(sqrt 2^16)
+  // The key carries the resolved degree, not the rule spelling.
+  EXPECT_NE(cells[3].key.find(";n=65536;d=256;"), std::string::npos)
+      << cells[3].key;
+
+  // Two rules colliding at some n would put two cells under one key.
+  CampaignSpec dup = spec;
+  dup.n_values = {16};  // log2n and sqrtn both resolve to 4
+  dup.d_rules = {{DegreeRule::kLog2N, 0}, {DegreeRule::kSqrtN, 0}};
+  EXPECT_THROW((void)expand_cells(dup), std::runtime_error);
+}
+
+TEST(CampaignExpand, MemoryAxisExtendsKeysOnlyWhenPresent) {
+  CampaignSpec spec = tiny_spec();
+  spec.churn_rates = {0.0};
+  spec.schemes = {BroadcastScheme::kSequentialised};
+  spec.memory_values = {3, 0};
+  const auto cells = expand_cells(spec);
+  ASSERT_EQ(cells.size(), 2U);
+  EXPECT_NE(cells[0].key.find(";memory=3"), std::string::npos)
+      << cells[0].key;
+  EXPECT_NE(cells[1].key.find(";memory=0"), std::string::npos)
+      << cells[1].key;
+  EXPECT_EQ(cells[0].memory, 3);
+  EXPECT_EQ(cells[1].memory, 0);
+
+  // The default axis {-1} keeps pre-memory-axis keys and describe() bytes,
+  // so recorded campaigns keep their fingerprints.
+  const auto plain = expand_cells(tiny_spec());
+  for (const CampaignCell& cell : plain)
+    EXPECT_EQ(cell.key.find("memory"), std::string::npos) << cell.key;
+  EXPECT_EQ(describe(tiny_spec()).find("memory"), std::string::npos);
+
+  // A non-default axis describes as spelled tokens and parses back.
+  CampaignSpec mixed = tiny_spec();
+  mixed.memory_values = {-1, 3};
+  const std::string described = describe(mixed);
+  EXPECT_NE(described.find("memory = default, 3"), std::string::npos)
+      << described;
+  std::istringstream in(described);
+  EXPECT_EQ(parse_spec(in).memory_values, (std::vector<int>{-1, 3}));
+}
+
+TEST(CampaignExpand, NewFamiliesValidateTheirConstraints) {
+  CampaignSpec odd_chunked;
+  odd_chunked.graph = GraphFamily::kChunked;
+  odd_chunked.n_values = {15};
+  odd_chunked.d_values = {3};  // n*d odd: no stub pairing exists
+  EXPECT_THROW((void)expand_cells(odd_chunked), std::runtime_error);
+
+  CampaignSpec not_div5;
+  not_div5.graph = GraphFamily::kProductK5;
+  not_div5.n_values = {64};
+  not_div5.d_values = {10};
+  EXPECT_THROW((void)expand_cells(not_div5), std::runtime_error);
+
+  CampaignSpec small_d;
+  small_d.graph = GraphFamily::kProductK5;
+  small_d.n_values = {40};
+  small_d.d_values = {4};  // K_5 fibre alone contributes degree 4
+  EXPECT_THROW((void)expand_cells(small_d), std::runtime_error);
+
+  CampaignSpec ok;
+  ok.graph = GraphFamily::kProductK5;
+  ok.n_values = {40960};
+  ok.d_values = {10};
+  EXPECT_EQ(expand_cells(ok).size(), 1U);
+}
+
 // ---- run_cell: the execution paths are the library's own -------------------
 
 TEST(CampaignRunCell, StaticCellMatchesDirectRunTrials) {

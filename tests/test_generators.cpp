@@ -270,6 +270,19 @@ TEST(DisjointUnion, ComponentsAreSeparate) {
   EXPECT_EQ(comps.count, 2U);
 }
 
+// Composite generators whose node count is a product or sum of inputs must
+// refuse anything past the NodeId ceiling (2^31) instead of wrapping the
+// 32-bit arithmetic into a silently-wrong small graph. The factors here are
+// cheap (empty or tiny graphs); the guard fires before any edge is built.
+TEST(GeneratorOverflow, ProductAndSumNodeCountsAreGuarded) {
+  const Graph big = Graph::from_edges(NodeId{1} << 16, {});
+  EXPECT_THROW((void)cartesian_product(big, big), std::logic_error);
+  EXPECT_THROW((void)torus(NodeId{1} << 16, NodeId{1} << 16),
+               std::logic_error);
+  const auto half = static_cast<NodeId>((std::uint64_t{1} << 30) + 1);
+  EXPECT_THROW((void)complete_bipartite(half, half), std::logic_error);
+}
+
 /// Property sweep: configuration model regularity over an (n, d) grid.
 class ConfigModelParam
     : public ::testing::TestWithParam<std::tuple<int, int>> {};

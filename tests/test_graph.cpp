@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 namespace rrb {
@@ -156,6 +157,74 @@ TEST(Graph, HandshakeLemmaHolds) {
   Count degree_sum = 0;
   for (NodeId v = 0; v < g.num_nodes(); ++v) degree_sum += g.degree(v);
   EXPECT_EQ(degree_sum, 2 * g.num_edges());
+}
+
+// ---------------------------------------------------------------------------
+// from_csr: adopting a prebuilt CSR (the rrb::bigtopo handoff path)
+// ---------------------------------------------------------------------------
+
+TEST(GraphFromCsr, ValidCsrMatchesFromEdges) {
+  // Triangle, handed over as offsets + sorted adjacency.
+  const Graph csr = Graph::from_csr({0, 2, 4, 6}, {1, 2, 0, 2, 0, 1});
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {0, 2}};
+  const Graph ref = Graph::from_edges(3, edges);
+  ASSERT_EQ(csr.num_nodes(), ref.num_nodes());
+  EXPECT_EQ(csr.num_edges(), ref.num_edges());
+  for (NodeId v = 0; v < 3; ++v) {
+    ASSERT_EQ(csr.degree(v), ref.degree(v));
+    for (NodeId i = 0; i < csr.degree(v); ++i)
+      EXPECT_EQ(csr.neighbors(v)[i], ref.neighbors(v)[i]);
+  }
+  EXPECT_TRUE(csr.is_simple());
+}
+
+TEST(GraphFromCsr, CountsLoopsAndParallelEdges) {
+  // Node 0: loop (two entries) + double edge to 1. Node 1: double edge back.
+  const Graph g = Graph::from_csr({0, 4, 6}, {0, 0, 1, 1, 0, 0});
+  EXPECT_EQ(g.num_edges(), 3U);
+  EXPECT_EQ(g.num_self_loops(), 1U);
+  EXPECT_EQ(g.num_parallel_extra(), 1U);
+  EXPECT_EQ(g.degree(0), 4U);
+  EXPECT_EQ(g.edge_multiplicity(0, 1), 2U);
+}
+
+TEST(GraphFromCsr, RejectsMalformedOffsets) {
+  // Empty offsets (no n+1 anchor row).
+  EXPECT_THROW((void)Graph::from_csr({}, {}), std::logic_error);
+  // offsets[0] != 0.
+  EXPECT_THROW((void)Graph::from_csr({1, 2}, {0}), std::logic_error);
+  // Non-monotone offsets.
+  EXPECT_THROW((void)Graph::from_csr({0, 4, 2, 6}, {1, 2, 0, 2, 0, 1}),
+               std::logic_error);
+  // offsets back row disagrees with adjacency size.
+  EXPECT_THROW((void)Graph::from_csr({0, 2, 5}, {1, 1, 0, 0}),
+               std::logic_error);
+  // Odd total stub count (violates the handshake lemma).
+  EXPECT_THROW((void)Graph::from_csr({0, 1, 2, 3}, {1, 0, 0}),
+               std::logic_error);
+}
+
+TEST(GraphFromCsr, RejectsBadAdjacency) {
+  // Entry out of node range.
+  EXPECT_THROW((void)Graph::from_csr({0, 1, 2}, {1, 2}), std::logic_error);
+  // Per-node list not sorted.
+  EXPECT_THROW((void)Graph::from_csr({0, 2, 3, 4}, {2, 1, 0, 0}),
+               std::logic_error);
+}
+
+TEST(GraphFromCsr, FullValidationCatchesAsymmetry) {
+  // 0 lists 1 twice, 1 lists 0 once (and 2 pads the total even): a CSR no
+  // edge multiset can produce. kBasic trusts the producer; kFull scans.
+  const std::vector<Count> offsets{0, 2, 3, 4};
+  const std::vector<NodeId> adjacency{1, 1, 0, 0};
+  EXPECT_NO_THROW((void)Graph::from_csr(offsets, adjacency));
+  EXPECT_THROW((void)Graph::from_csr(offsets, adjacency,
+                                     CsrValidation::kFull),
+               std::logic_error);
+
+  // A consistent multigraph passes kFull: loop at 0 plus double edge 0-1.
+  EXPECT_NO_THROW((void)Graph::from_csr({0, 4, 6}, {0, 0, 1, 1, 0, 0},
+                                        CsrValidation::kFull));
 }
 
 TEST(Graph, HandshakeLemmaWithLoopsAndParallels) {

@@ -233,7 +233,8 @@ std::string module_of(std::string_view path) {
 /// observer pipeline. graph/analysis/p2p are reachable only through these.
 bool record_path_module(const std::string& module) {
   static const std::set<std::string> kModules = {
-      "core", "phonecall", "protocols", "rng", "sim", "metrics", "exp"};
+      "core", "phonecall", "protocols", "rng",     "sim",
+      "metrics", "exp",    "bigtopo"};
   return kModules.count(module) != 0;
 }
 
@@ -249,6 +250,7 @@ const std::map<std::string, std::vector<std::string>>& module_deps() {
       {"analysis", {"common"}},
       {"telemetry", {"common"}},
       {"graph", {"common", "rng"}},
+      {"bigtopo", {"common", "graph", "rng", "telemetry"}},
       {"phonecall", {"common", "graph", "rng", "telemetry"}},
       {"protocols", {"common", "phonecall"}},
       {"metrics", {"analysis", "common", "graph", "phonecall"}},
@@ -257,8 +259,8 @@ const std::map<std::string, std::vector<std::string>>& module_deps() {
       {"sim",
        {"common", "core", "graph", "metrics", "phonecall", "rng", "telemetry"}},
       {"exp",
-       {"common", "core", "graph", "metrics", "p2p", "phonecall", "protocols",
-        "rng", "sim", "telemetry"}},
+       {"bigtopo", "common", "core", "graph", "metrics", "p2p", "phonecall",
+        "protocols", "rng", "sim", "telemetry"}},
   };
   return kDeps;
 }
